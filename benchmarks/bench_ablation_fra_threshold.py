@@ -1,0 +1,63 @@
+"""Ablation — FRA's escalating correlation threshold vs a frozen one.
+
+Algorithm 1 raises the correlation threshold by 0.025 per iteration so
+the removal rule keeps biting once the easy features are gone. Freezing
+the threshold at its 0.5 start removes that pressure: the reduction can
+stall above the target size (ending only via the iteration cap). The
+bench quantifies both behaviours on one real scenario.
+"""
+
+from repro.core.fra import FRAConfig, fra_reduce
+from repro.core.reporting import format_table
+
+_MODEL_PARAMS = dict(
+    rf_params={"n_estimators": 6, "max_depth": 7, "max_features": "sqrt"},
+    gb_params={"n_estimators": 12, "max_depth": 3, "learning_rate": 0.2},
+    pfi_repeats=1,
+    pfi_max_rows=150,
+)
+
+
+def test_ablation_threshold_schedule(benchmark, bench_results,
+                                     artifact_writer):
+    art = next(
+        a for a in bench_results.artifacts.values()
+        if a.scenario.period == "2019"
+    )
+    scenario = art.scenario
+    sub = scenario.select_features(scenario.feature_names[:120])
+
+    escalating = FRAConfig(target_size=60, corr_step=0.025,
+                           max_iterations=25, **_MODEL_PARAMS)
+    frozen = FRAConfig(target_size=60, corr_step=1e-12,
+                       max_iterations=25, **_MODEL_PARAMS)
+
+    res_esc = benchmark.pedantic(
+        fra_reduce, args=(sub.X, sub.y, sub.feature_names, escalating),
+        rounds=1, iterations=1,
+    )
+    res_frozen = fra_reduce(sub.X, sub.y, sub.feature_names, frozen)
+
+    rows = [
+        ["escalating (paper)", len(res_esc.selected),
+         res_esc.n_iterations],
+        ["frozen at 0.5", len(res_frozen.selected),
+         res_frozen.n_iterations],
+    ]
+    text = (
+        format_table(
+            ["threshold schedule", "final size", "iterations"], rows,
+            title="Ablation: FRA correlation-threshold schedule "
+                  "(target 60, cap 25 iters)",
+        )
+        + "\n\nFinding: the escalating schedule keeps removals flowing; "
+        "a frozen\nthreshold reaches the target slower or stalls at the "
+        "iteration cap."
+    )
+    artifact_writer("ablation_fra_threshold", text)
+
+    assert len(res_esc.selected) <= 60
+    # escalation can only help progress: never slower in iterations while
+    # ending at most as large
+    assert res_esc.n_iterations <= res_frozen.n_iterations
+    assert len(res_esc.selected) <= max(len(res_frozen.selected), 60)

@@ -1,0 +1,29 @@
+"""Figure 1 — Top-100 cryptocurrencies vs total market cap.
+
+Regenerates the paper's Figure 1 series (summed top-100 cap and total
+cap over the collection period) and measures the daily top-N cap
+computation over the full 120-asset universe.
+"""
+
+from repro.core.reporting import render_series
+
+
+def test_fig1_top100_vs_total(benchmark, universe, artifact_writer):
+    top100 = benchmark(universe.top_n_cap, 100)
+    total = universe.total_cap()
+    share = top100 / total
+
+    lines = [
+        "Figure 1: Top 100 Cryptocurrencies VS Total Marketcap",
+        render_series("top100_cap", top100),
+        render_series("total_cap", total),
+        f"top-100 share: mean {share.mean():.2%} "
+        f"min {share.min():.2%} max {share.max():.2%}",
+        "",
+        "Paper shape: the top-100 assets constitute the (vast) majority "
+        "of total market capitalisation throughout the period.",
+        f"Reproduced: share never drops below {share.min():.1%}.",
+    ]
+    artifact_writer("fig1_marketcap", "\n".join(lines))
+    assert (share > 0.9).all()
+    assert (top100 <= total + 1e-6).all()

@@ -1,0 +1,81 @@
+"""Performance benchmarks for the model substrate.
+
+Classic pytest-benchmark timing targets: tree/forest/booster fits,
+prediction throughput, TreeSHAP per-sample cost, and the simulator's
+end-to-end dataset generation. These guard the library's runtime budget
+— the full experiment executes thousands of such calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+    TreeExplainer,
+)
+from repro.synth import SimulationConfig, generate_raw_dataset
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2000, 100))
+    y = X[:, :5] @ rng.normal(size=5) + 0.2 * rng.normal(size=2000)
+    return X, y
+
+
+def test_tree_fit(benchmark, data):
+    X, y = data
+    tree = benchmark(
+        lambda: DecisionTreeRegressor(max_depth=10).fit(X, y)
+    )
+    assert tree.tree_.node_count > 1
+
+
+def test_tree_predict(benchmark, data):
+    X, y = data
+    tree = DecisionTreeRegressor(max_depth=10).fit(X, y)
+    pred = benchmark(tree.predict, X)
+    assert pred.shape == (2000,)
+
+
+def test_forest_fit(benchmark, data):
+    X, y = data
+    forest = benchmark.pedantic(
+        lambda: RandomForestRegressor(
+            n_estimators=10, max_depth=10, max_features="sqrt",
+            random_state=0,
+        ).fit(X, y),
+        rounds=1, iterations=1,
+    )
+    assert len(forest.estimators_) == 10
+
+
+def test_boosting_fit(benchmark, data):
+    X, y = data
+    booster = benchmark.pedantic(
+        lambda: GradientBoostingRegressor(
+            n_estimators=20, max_depth=3, max_features="sqrt",
+            random_state=0,
+        ).fit(X, y),
+        rounds=1, iterations=1,
+    )
+    assert len(booster.estimators_) == 20
+
+
+def test_treeshap_per_sample(benchmark, data):
+    X, y = data
+    tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+    explainer = TreeExplainer(tree)
+    values = benchmark(explainer.shap_values, X[:10])
+    assert values.shape == (10, 100)
+
+
+def test_dataset_generation(benchmark):
+    raw = benchmark.pedantic(
+        lambda: generate_raw_dataset(SimulationConfig()),
+        rounds=1, iterations=1,
+    )
+    assert raw.n_metrics > 200

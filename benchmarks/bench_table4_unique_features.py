@@ -1,0 +1,33 @@
+"""Table 4 — top-20 uniquely-important features per horizon group.
+
+Checks the paper's headline contrasts: recent moving averages populate
+the short-term-only list, while traditional-index closes and supply
+dynamics populate the long-term-only list.
+"""
+
+from repro.core.horizons import unique_features
+from repro.core.reporting import render_unique_features
+
+
+def test_table4_unique_features(benchmark, bench_results, artifact_writer):
+    short, long_ = bench_results.horizon_groups("2017")
+    benchmark(unique_features, short, long_, 20)
+
+    sections = []
+    for period in ("2017", "2019"):
+        table = bench_results.table4_unique_features(period, k=20)
+        sections.append(render_unique_features(table, period))
+    text = "\n\n".join(sections) + (
+        "\n\nPaper shape: short-term uniques are dominated by recent "
+        "SMAs/EMAs;\nlong-term uniques include major traditional indices "
+        "(QQQ, UUP, EURUSD, BSV, MBB)\nand supply-dynamics metrics "
+        "(SplyActPct1yr, SER, VelCur1yr, s2f_ratio)."
+    )
+    artifact_writer("table4_unique_features", text)
+
+    # uniqueness invariant
+    for period in ("2017", "2019"):
+        s_group, l_group = bench_results.horizon_groups(period)
+        table = bench_results.table4_unique_features(period, k=20)
+        assert not set(table["Short-term"]) & set(l_group.importances)
+        assert not set(table["Long-term"]) & set(s_group.importances)

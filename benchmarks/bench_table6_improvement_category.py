@@ -1,0 +1,38 @@
+"""Table 6 — average MSE percentage decrease by data category.
+
+The paper's signature ordering: BTC on-chain benefits least from
+diversity (12.09 % / 17.51 %), sentiment and macro benefit most (up to
+1118.16 %), traditional indices sit in between.
+"""
+
+from repro.categories import DataCategory
+from repro.core.improvement import average_by_category
+from repro.core.reporting import render_improvement_by_category
+
+
+def test_table6_improvement_by_category(benchmark, bench_results,
+                                        artifact_writer):
+    benchmark(average_by_category, bench_results.improvements_rf, "2019")
+
+    by_period = {
+        p: bench_results.table6_improvement_by_category(p)
+        for p in ("2017", "2019")
+    }
+    text = (
+        f"{render_improvement_by_category(by_period)}\n\n"
+        "Paper shape: BTC on-chain benefits least from diversity; "
+        "sentiment and\nmacro benefit most; traditional indices sit in "
+        "between; USDC appears only\nin the 2019 column."
+    )
+    artifact_writer("table6_improvement_category", text)
+
+    assert DataCategory.ONCHAIN_USDC not in by_period["2017"]
+    assert DataCategory.ONCHAIN_USDC in by_period["2019"]
+    for period, table in by_period.items():
+        # the paper's standout contrast: on-chain (BTC) needs diversity
+        # least, sentiment & macro need it most
+        assert table[DataCategory.ONCHAIN_BTC] < table[DataCategory.MACRO]
+        assert (table[DataCategory.ONCHAIN_BTC]
+                < table[DataCategory.SENTIMENT])
+        assert table[DataCategory.SENTIMENT] > 100.0
+        assert table[DataCategory.MACRO] > 100.0

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefacts are session-scoped and computed once:
+
+* ``bench_results`` — one full experiment at the ``bench`` preset
+  (all 10 paper scenarios). Every table/figure bench reads from it and
+  writes its rendered artefact under ``benchmarks/results/``.
+* ``universe`` — the simulated asset universe (Figures 1-2).
+
+Each bench also *measures* a representative computation with
+pytest-benchmark, so ``--benchmark-only`` runs double as a performance
+regression harness for the library.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import ExperimentConfig, run_experiment
+from repro.synth import generate_latent_market, generate_universe
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return ExperimentConfig.bench()
+
+
+@pytest.fixture(scope="session")
+def bench_results(bench_config):
+    """One full paper reproduction at benchmark scale (computed once)."""
+    return run_experiment(bench_config)
+
+
+@pytest.fixture(scope="session")
+def latent(bench_config):
+    return generate_latent_market(bench_config.simulation)
+
+
+@pytest.fixture(scope="session")
+def universe(bench_config, latent):
+    return generate_universe(bench_config.simulation, latent)
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    """Write a rendered table to benchmarks/results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[artifact written to {path}]")
+
+    return write

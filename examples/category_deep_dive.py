@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Isolated-category deep dive (§5 future work).
+
+Profiles every data source standing alone on a 30-day forecasting
+scenario: standalone accuracy, internal top features, and redundancy —
+the "detailed analysis of isolated categories" the paper proposes for
+balancing category representation.
+
+Usage::
+
+    python examples/category_deep_dive.py [seed]
+"""
+
+import sys
+
+from repro import SimulationConfig, build_scenario, generate_raw_dataset
+from repro.categories import CATEGORY_LABELS
+from repro.core.category_analysis import analyze_all_categories
+from repro.core.reporting import format_table
+
+
+def main(seed: int = 20240701) -> None:
+    raw = generate_raw_dataset(SimulationConfig(seed=seed))
+    scenario = build_scenario(raw, "2019", 30)
+    print(f"scenario {scenario.key}: {scenario.n_samples} rows x "
+          f"{scenario.n_features} candidates\n")
+
+    profiles = analyze_all_categories(
+        scenario,
+        rf_params={"n_estimators": 15, "max_depth": 12,
+                   "max_features": "sqrt", "min_samples_leaf": 2},
+    )
+
+    rows = []
+    for category, profile in sorted(
+        profiles.items(), key=lambda kv: kv[1].cv_mse
+    ):
+        rows.append([
+            CATEGORY_LABELS[category],
+            profile.n_features,
+            f"{profile.cv_mse:.3g}",
+            f"{profile.cv_r2:+.3f}",
+            f"{profile.redundancy:.2f}",
+        ])
+    print(format_table(
+        ["Category", "n features", "standalone CV MSE", "CV R2",
+         "redundancy"],
+        rows,
+        title="Standalone predictive power per data source (best first)",
+    ))
+
+    print("\n=== Top 5 features inside each category ===")
+    for category, profile in profiles.items():
+        print(f"\n{CATEGORY_LABELS[category]}:")
+        for name, share in profile.ranked_features()[:5]:
+            print(f"  {share:6.1%}  {name}")
+
+    print("\nInterpretation: categories with poor standalone MSE but "
+          "features that\nsurvive the paper's diverse selection (e.g. "
+          "macro at long horizons) carry\ncomplementary information — "
+          "exactly the diversity effect the paper measures.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20240701)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Forecast-driven portfolio allocation (the paper's §5 'application in
+finance' future-work direction).
+
+Backtests long/flat strategies on the Crypto100 index with the
+`repro.backtest` framework: hold the index only when a forecaster
+predicts it to rise over the next 30 days, otherwise sit in cash (a
+stablecoin). Compares a diversity-trained forecaster against a
+technical-only forecaster and buy-and-hold — quantifying what
+data-source diversity is worth in P&L terms, not just MSE.
+
+Usage::
+
+    python examples/portfolio_backtest.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    DataCategory,
+    FRAConfig,
+    SHAPConfig,
+    SimulationConfig,
+    build_scenario,
+    generate_raw_dataset,
+    select_final_features,
+)
+from repro.backtest import (
+    BacktestConfig,
+    BuyAndHold,
+    LongFlat,
+    walk_forward,
+)
+from repro.core.reporting import format_table
+from repro.ml import RandomForestRegressor
+
+WINDOW = 30
+TRAIN_FRAC = 0.6
+
+
+def forecaster_run(scenario, feature_names, label):
+    """Train on the first 60 %, emit walk-forward forecasts on the rest.
+
+    Returns (prices over the evaluation span, aligned forecasts).
+    ``scenario.y[t]`` is the price at t+WINDOW, so the price at decision
+    time t is ``y[t - WINDOW]``.
+    """
+    cols = [scenario.feature_names.index(n) for n in feature_names]
+    X = scenario.X[:, cols]
+    y = scenario.y
+    cut = int(scenario.n_samples * TRAIN_FRAC)
+    model = RandomForestRegressor(
+        n_estimators=25, max_depth=12, max_features="sqrt",
+        min_samples_leaf=2, random_state=0,
+    ).fit(X[:cut], y[:cut])
+    forecasts = model.predict(X[cut:])
+    prices = y[cut - WINDOW:scenario.n_samples - WINDOW]
+    print(f"  trained {label}: {len(forecasts)} evaluation days")
+    return prices, forecasts
+
+
+def main(seed: int = 20240701) -> None:
+    raw = generate_raw_dataset(SimulationConfig(seed=seed))
+    scenario = build_scenario(raw, "2019", WINDOW)
+    print(f"scenario {scenario.key}: {scenario.n_samples} rows x "
+          f"{scenario.n_features} candidates")
+
+    print("selecting the diverse feature vector (FRA + SHAP)...")
+    selection = select_final_features(
+        scenario.X, scenario.y, scenario.feature_names,
+        fra_config=FRAConfig(
+            rf_params={"n_estimators": 10, "max_depth": 10,
+                       "max_features": "sqrt", "min_samples_leaf": 2},
+            gb_params={"n_estimators": 20, "max_depth": 3,
+                       "learning_rate": 0.15, "max_features": "sqrt",
+                       "subsample": 0.8, "reg_lambda": 1.0},
+            pfi_repeats=1, pfi_max_rows=200,
+        ),
+        shap_config=SHAPConfig(max_rows=50),
+        top_k=50,
+    )
+    print(f"final vector: {selection.n_features} features\n")
+
+    config = BacktestConfig(rebalance_every=7, cost_bps=10.0)
+    runs = []
+
+    prices, forecasts = forecaster_run(
+        scenario, selection.final_features, "diverse forecaster"
+    )
+    runs.append(("diverse forecaster",
+                 walk_forward(prices, forecasts, LongFlat(), config)))
+
+    technical = scenario.columns_in(DataCategory.TECHNICAL)
+    prices_t, forecasts_t = forecaster_run(
+        scenario, technical, "technical-only forecaster"
+    )
+    runs.append(("technical-only forecaster",
+                 walk_forward(prices_t, forecasts_t, LongFlat(), config)))
+
+    runs.append(("buy & hold Crypto100",
+                 walk_forward(prices, prices, BuyAndHold(), config)))
+
+    rows = []
+    for label, result in runs:
+        stats = result.summary()
+        rows.append([
+            label,
+            f"{1 + stats['total_return']:.2f}",
+            f"{stats['annualized_volatility']:.1%}",
+            f"{stats['max_drawdown']:.1%}",
+            f"{stats['sharpe']:.2f}",
+            int(stats["n_trades"]),
+        ])
+    print()
+    print(format_table(
+        ["Strategy", "Final equity (x)", "Ann. vol", "Max DD",
+         "Sharpe", "trades"],
+        rows,
+        title="Walk-forward long/flat backtest on the Crypto100 index "
+              f"(w={WINDOW}, costs 10 bps)",
+    ))
+    print("\nNote: a toy strategy on synthetic data — the point is the "
+          "relative ordering\n(diverse forecaster vs technical-only), "
+          "not the absolute returns.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20240701)

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Resilient multi-asset crypto portfolios (§5 future work).
+
+Runs the paper's proposed follow-up end-to-end on the simulated
+universe: take the largest assets, estimate covariances on trailing
+returns, and compare allocation schemes — cap-weighted (the Crypto100's
+implicit scheme), 1/N, long-only minimum variance, and risk parity —
+through multiple bull/bear regimes with transaction costs.
+
+Usage::
+
+    python examples/resilient_portfolio.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SimulationConfig
+from repro.core.reporting import format_table
+from repro.portfolio import (
+    RebalanceConfig,
+    cap_weights,
+    equal_weights,
+    min_variance_weights,
+    risk_parity_weights,
+    sample_covariance,
+    shrinkage_covariance,
+    simulate_portfolio,
+)
+from repro.synth import generate_latent_market, generate_universe
+
+N_ASSETS = 10
+
+
+def main(seed: int = 20240701) -> None:
+    config = SimulationConfig(seed=seed)
+    latent = generate_latent_market(config)
+    universe = generate_universe(config, latent)
+
+    # Pick the N largest assets by average cap and build a price panel
+    # (cap / a fixed unit supply is a price up to scale).
+    mean_caps = universe.caps.mean(axis=0)
+    top = np.argsort(-mean_caps)[:N_ASSETS]
+    panel = universe.caps[:, top]
+    names = [universe.names[i] for i in top]
+    print(f"universe: {panel.shape[0]} days, basket = {names}\n")
+
+    cfg = RebalanceConfig(lookback=90, rebalance_every=30, cost_bps=10.0)
+
+    def rule_equal(trailing):
+        return equal_weights(trailing.shape[1])
+
+    def rule_minvar(trailing):
+        return min_variance_weights(shrinkage_covariance(trailing))
+
+    def rule_riskparity(trailing):
+        return risk_parity_weights(
+            sample_covariance(trailing) + 1e-8 * np.eye(trailing.shape[1])
+        )
+
+    runs = {
+        "1/N": simulate_portfolio(panel, rule_equal, cfg),
+        "min variance (shrunk cov)": simulate_portfolio(
+            panel, rule_minvar, cfg
+        ),
+        "risk parity": simulate_portfolio(panel, rule_riskparity, cfg),
+    }
+
+    # Cap-weighting drifts with the caps themselves: recompute at each
+    # rebalance from current caps via a closure over the day counter.
+    state = {"day": cfg.lookback}
+
+    def rule_cap(trailing):
+        weights = cap_weights(panel[state["day"]])
+        state["day"] += cfg.rebalance_every
+        return weights
+
+    runs["cap-weighted (index)"] = simulate_portfolio(panel, rule_cap, cfg)
+
+    rows = []
+    for label, run in runs.items():
+        stats = run.summary()
+        rows.append([
+            label,
+            f"{1 + stats['total_return']:.2f}x",
+            f"{stats['annualized_return']:+.1%}",
+            f"{stats['annualized_volatility']:.1%}",
+            f"{stats['max_drawdown']:.1%}",
+            f"{stats['sharpe']:.2f}",
+        ])
+    print(format_table(
+        ["Allocation", "Final equity", "Ann. return", "Ann. vol",
+         "Max DD", "Sharpe"],
+        rows,
+        title=f"Top-{N_ASSETS} crypto portfolio, 90d lookback, "
+              "30d rebalancing, 10 bps costs",
+    ))
+
+    vol_rank = sorted(
+        runs, key=lambda k: runs[k].summary()["annualized_volatility"]
+    )
+    print(f"\ncalmest allocation: {vol_rank[0]}; "
+          f"most volatile: {vol_rank[-1]}")
+    print("Risk-based schemes (min-var, risk parity) trade upside for "
+          "smaller drawdowns —\nthe 'resilience' the paper's future work "
+          "aims at.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20240701)

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without PEP 660 support.
+
+Modern installs should use ``pip install -e .`` (pyproject.toml is the
+source of truth); this file only enables ``python setup.py develop`` on
+minimal offline toolchains lacking the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Forecast-driven portfolio backtesting (the paper's §5 'application in
+finance' direction, built out as a reusable framework).
+
+Typical use::
+
+    from repro.backtest import BacktestConfig, LongFlat, walk_forward
+
+    result = walk_forward(prices, model_forecasts, LongFlat(),
+                          BacktestConfig(rebalance_every=7, cost_bps=10))
+    print(result.summary())
+"""
+
+from .engine import BacktestConfig, BacktestResult, walk_forward
+from .metrics import (
+    annualized_return,
+    annualized_volatility,
+    calmar_ratio,
+    hit_rate,
+    max_drawdown,
+    sharpe_ratio,
+    sortino_ratio,
+    total_return,
+)
+from .strategy import BuyAndHold, LongFlat, ProportionalSizing, Strategy
+
+__all__ = [
+    "BacktestConfig",
+    "BacktestResult",
+    "BuyAndHold",
+    "LongFlat",
+    "ProportionalSizing",
+    "Strategy",
+    "annualized_return",
+    "annualized_volatility",
+    "calmar_ratio",
+    "hit_rate",
+    "max_drawdown",
+    "sharpe_ratio",
+    "sortino_ratio",
+    "total_return",
+    "walk_forward",
+]

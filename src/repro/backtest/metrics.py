@@ -1,0 +1,117 @@
+"""Portfolio performance metrics.
+
+Conventions: equity curves are arrays of portfolio value (start > 0);
+daily frequency with crypto's 365-day year for annualisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "total_return",
+    "annualized_return",
+    "annualized_volatility",
+    "sharpe_ratio",
+    "sortino_ratio",
+    "max_drawdown",
+    "calmar_ratio",
+    "hit_rate",
+]
+
+_DAYS_PER_YEAR = 365.0
+
+
+def _validate_curve(equity) -> np.ndarray:
+    equity = np.asarray(equity, dtype=np.float64).ravel()
+    if equity.size < 2:
+        raise ValueError("equity curve needs at least two points")
+    if (equity <= 0).any():
+        raise ValueError("equity must stay positive")
+    return equity
+
+
+def _daily_log_returns(equity: np.ndarray) -> np.ndarray:
+    return np.diff(np.log(equity))
+
+
+def total_return(equity) -> float:
+    """Fractional gain over the whole curve (0.5 = +50 %)."""
+    equity = _validate_curve(equity)
+    return float(equity[-1] / equity[0] - 1.0)
+
+
+def annualized_return(equity) -> float:
+    """Geometric return per 365-day year."""
+    equity = _validate_curve(equity)
+    years = (equity.size - 1) / _DAYS_PER_YEAR
+    return float((equity[-1] / equity[0]) ** (1.0 / years) - 1.0)
+
+
+def annualized_volatility(equity) -> float:
+    """Std of daily log returns scaled by sqrt(365)."""
+    equity = _validate_curve(equity)
+    return float(_daily_log_returns(equity).std()
+                 * np.sqrt(_DAYS_PER_YEAR))
+
+
+def sharpe_ratio(equity, risk_free_rate: float = 0.0) -> float:
+    """Annualised Sharpe ratio on daily log returns.
+
+    A flat curve (zero volatility) returns 0.0 rather than dividing by
+    zero.
+    """
+    equity = _validate_curve(equity)
+    daily = _daily_log_returns(equity)
+    daily_rf = risk_free_rate / _DAYS_PER_YEAR
+    excess = daily - daily_rf
+    std = excess.std()
+    if std == 0.0:
+        return 0.0
+    return float(excess.mean() / std * np.sqrt(_DAYS_PER_YEAR))
+
+
+def sortino_ratio(equity, risk_free_rate: float = 0.0) -> float:
+    """Sharpe variant penalising only downside deviation.
+
+    Curves with no down days return ``inf`` when the mean excess return
+    is positive, 0.0 when it is not.
+    """
+    equity = _validate_curve(equity)
+    daily = _daily_log_returns(equity)
+    daily_rf = risk_free_rate / _DAYS_PER_YEAR
+    excess = daily - daily_rf
+    downside = excess[excess < 0]
+    if downside.size == 0:
+        return float("inf") if excess.mean() > 0 else 0.0
+    downside_std = float(np.sqrt(np.mean(downside**2)))
+    if downside_std == 0.0:
+        return 0.0
+    return float(excess.mean() / downside_std * np.sqrt(_DAYS_PER_YEAR))
+
+
+def max_drawdown(equity) -> float:
+    """Largest peak-to-trough fractional loss (0.3 = -30 %)."""
+    equity = _validate_curve(equity)
+    peaks = np.maximum.accumulate(equity)
+    return float((1.0 - equity / peaks).max())
+
+
+def calmar_ratio(equity) -> float:
+    """Annualised return over max drawdown (inf for drawdown-free)."""
+    drawdown = max_drawdown(equity)
+    ann = annualized_return(equity)
+    if drawdown == 0.0:
+        return float("inf") if ann > 0 else 0.0
+    return float(ann / drawdown)
+
+
+def hit_rate(equity) -> float:
+    """Fraction of days with a positive return (flat days excluded);
+    0.0 when every day is flat."""
+    equity = _validate_curve(equity)
+    daily = np.diff(equity)
+    active = daily[daily != 0.0]
+    if active.size == 0:
+        return 0.0
+    return float((active > 0).mean())

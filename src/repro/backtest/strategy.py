@@ -1,0 +1,83 @@
+"""Allocation strategies driven by price forecasts.
+
+A strategy maps (current price, forecast of the price ``h`` days ahead)
+to a target portfolio weight in ``[0, 1]`` — the fraction of equity held
+in the risky index, with the remainder parked in cash (a stablecoin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Strategy",
+    "BuyAndHold",
+    "LongFlat",
+    "ProportionalSizing",
+]
+
+
+class Strategy:
+    """Base class: override :meth:`target_weight`."""
+
+    def target_weight(self, current_price: float,
+                      predicted_price: float) -> float:
+        """Target portfolio weight in [0, 1] from (price, forecast)."""
+        raise NotImplementedError
+
+    def _clip(self, weight: float) -> float:
+        return float(np.clip(weight, 0.0, 1.0))
+
+
+class BuyAndHold(Strategy):
+    """Always fully invested (the passive baseline)."""
+
+    def target_weight(self, current_price: float,
+                      predicted_price: float) -> float:
+        """Target portfolio weight in [0, 1] from (price, forecast)."""
+        return 1.0
+
+
+class LongFlat(Strategy):
+    """Fully invested when the forecast exceeds the price by a margin.
+
+    Parameters
+    ----------
+    threshold:
+        Required predicted fractional gain before going long; 0.0 means
+        any predicted rise triggers a long position.
+    """
+
+    def __init__(self, threshold: float = 0.0):
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+
+    def target_weight(self, current_price: float,
+                      predicted_price: float) -> float:
+        """Target portfolio weight in [0, 1] from (price, forecast)."""
+        if current_price <= 0:
+            raise ValueError("current price must be positive")
+        expected_gain = predicted_price / current_price - 1.0
+        return 1.0 if expected_gain > self.threshold else 0.0
+
+
+class ProportionalSizing(Strategy):
+    """Weight proportional to the predicted gain, capped at fully long.
+
+    ``weight = clip(predicted_gain / full_at, 0, 1)`` — a predicted gain
+    of ``full_at`` (default 10 %) or more maps to 100 % invested.
+    """
+
+    def __init__(self, full_at: float = 0.10):
+        if full_at <= 0:
+            raise ValueError("full_at must be positive")
+        self.full_at = full_at
+
+    def target_weight(self, current_price: float,
+                      predicted_price: float) -> float:
+        """Target portfolio weight in [0, 1] from (price, forecast)."""
+        if current_price <= 0:
+            raise ValueError("current price must be positive")
+        expected_gain = predicted_price / current_price - 1.0
+        return self._clip(expected_gain / self.full_at)

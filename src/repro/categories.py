@@ -1,0 +1,43 @@
+"""The paper's data-source taxonomy (§2.2).
+
+Five categories, with on-chain split into BTC and USDC subcategories as
+in §3.1.2, giving the six groups reported in Figures 3-4 and Table 6.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["DataCategory", "CATEGORY_LABELS"]
+
+
+class DataCategory(enum.Enum):
+    """Data-source category of a metric.
+
+    ``ONCHAIN_ETH`` implements the paper's §5 on-chain-diversification
+    future work (Ethereum as the DeFi-segment representative); it is only
+    populated when the simulator is configured with ``include_eth=True``.
+    """
+
+    TECHNICAL = "technical"
+    ONCHAIN_BTC = "onchain_btc"
+    ONCHAIN_USDC = "onchain_usdc"
+    ONCHAIN_ETH = "onchain_eth"
+    SENTIMENT = "sentiment"
+    TRADFI = "tradfi"
+    MACRO = "macro"
+
+    def __str__(self) -> str:  # nicer table rendering
+        return CATEGORY_LABELS[self]
+
+
+#: Human-readable labels matching the paper's terminology.
+CATEGORY_LABELS = {
+    DataCategory.TECHNICAL: "Technical Indicators",
+    DataCategory.ONCHAIN_BTC: "On-chain Metrics (BTC)",
+    DataCategory.ONCHAIN_USDC: "On-chain Metrics (USDC)",
+    DataCategory.ONCHAIN_ETH: "On-chain Metrics (ETH)",
+    DataCategory.SENTIMENT: "Sentiment and Interest Metrics",
+    DataCategory.TRADFI: "Traditional Market Indices",
+    DataCategory.MACRO: "Macroeconomic Indicators",
+}

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``
+    Generate the synthetic dataset and write it (plus the Crypto100
+    target) to CSV files.
+``run``
+    Execute the full experiment at a chosen preset and print every
+    reproduced table; optionally write them to a report file.
+``index``
+    Print the Crypto100 scaling-factor analysis (Figures 1-2 data).
+
+Examples::
+
+    python -m repro simulate --out data/ --seed 7
+    python -m repro run --preset fast --seed 7 --report report.txt
+    python -m repro index --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.crypto100 import crypto100_index, tune_scaling_power
+from .core.pipeline import ExperimentConfig, run_experiment
+from .core.reporting import (
+    render_contributions,
+    render_improvement_by_category,
+    render_improvement_by_window,
+    render_table1,
+    render_top_features,
+    render_unique_features,
+)
+from .frame.io import write_csv
+from .synth.config import SimulationConfig
+from .synth.dataset import generate_raw_dataset
+from .synth.latent import generate_latent_market
+from .synth.market import generate_universe
+from .synth.presets import PRESETS as MARKET_PRESETS
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "fast": ExperimentConfig.fast,
+    "bench": ExperimentConfig.bench,
+    "default": ExperimentConfig.default,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'From On-chain to Macro' (VLDB 2024 FAB)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser(
+        "simulate", help="generate the synthetic dataset as CSV"
+    )
+    sim.add_argument("--out", type=Path, required=True,
+                     help="output directory (created if missing)")
+    sim.add_argument("--seed", type=int, default=20240701)
+    sim.add_argument("--include-eth", action="store_true",
+                     help="also generate ETH on-chain metrics")
+    sim.add_argument("--market", choices=sorted(MARKET_PRESETS),
+                     default="baseline",
+                     help="market-scenario preset (see repro.synth.presets)")
+
+    run = sub.add_parser("run", help="run the full experiment")
+    run.add_argument("--preset", choices=sorted(_PRESETS),
+                     default="fast")
+    run.add_argument("--seed", type=int, default=20240701)
+    run.add_argument("--report", type=Path, default=None,
+                     help="also write the rendered tables to this file")
+    run.add_argument("--markdown", type=Path, default=None,
+                     help="also write a full markdown report here")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress progress logging")
+
+    index = sub.add_parser(
+        "index", help="Crypto100 scaling-factor analysis"
+    )
+    index.add_argument("--seed", type=int, default=20240701)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    import dataclasses
+
+    config = MARKET_PRESETS[args.market](seed=args.seed)
+    if args.include_eth:
+        config = dataclasses.replace(config, include_eth=True)
+    raw = generate_raw_dataset(config)
+    args.out.mkdir(parents=True, exist_ok=True)
+    features_path = args.out / "features.csv"
+    write_csv(raw.features, features_path)
+    target_path = args.out / "crypto100.csv"
+    write_csv(crypto100_index(raw.universe), target_path)
+    categories_path = args.out / "categories.csv"
+    with categories_path.open("w") as handle:
+        handle.write("metric,category\n")
+        for name in raw.features.columns:
+            handle.write(f"{name},{raw.categories[name].value}\n")
+    print(f"wrote {raw.n_metrics} metrics x {raw.features.n_rows} days to "
+          f"{features_path}")
+    print(f"wrote target index to {target_path}")
+    print(f"wrote category map to {categories_path}")
+    return 0
+
+
+def _render_full_report(results) -> str:
+    sections = [render_table1(results.table1_vector_sizes())]
+    sections.append(
+        f"mean FRA/SHAP top-100 overlap: "
+        f"{results.mean_shap_overlap():.1f} features"
+    )
+    for period in ("2017", "2019"):
+        sections.append(
+            render_contributions(results.contributions(period), period)
+        )
+        sections.append(
+            render_top_features(
+                results.table3_top_features(period), period
+            )
+        )
+        sections.append(
+            render_unique_features(
+                results.table4_unique_features(period), period
+            )
+        )
+    sections.append(render_improvement_by_window({
+        p: results.table5_improvement_by_window(p) for p in ("2017", "2019")
+    }))
+    sections.append(render_improvement_by_category({
+        p: results.table6_improvement_by_category(p)
+        for p in ("2017", "2019")
+    }))
+    lines = ["Overall average improvement (§4.3):"]
+    for model in ("rf", "gb"):
+        for period in ("2017", "2019"):
+            try:
+                value = results.overall_improvement(period, model)
+            except ValueError:
+                continue
+            lines.append(f"  {model.upper()} set {period}: {value:.2f}%")
+    sections.append("\n".join(lines))
+    sections.append(f"runtime: {results.runtime_seconds:.0f}s")
+    return "\n\n".join(sections)
+
+
+def _cmd_run(args) -> int:
+    import dataclasses
+
+    make_config = _PRESETS[args.preset]
+    config = make_config(seed=args.seed)
+    if config.verbose == args.quiet:  # align verbosity with --quiet
+        config = dataclasses.replace(config, verbose=not args.quiet)
+    results = run_experiment(config)
+    report = _render_full_report(results)
+    print(report)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report + "\n")
+        print(f"\nreport written to {args.report}")
+    if args.markdown is not None:
+        from .core.report import write_markdown_report
+
+        path = write_markdown_report(results, args.markdown)
+        print(f"markdown report written to {path}")
+    return 0
+
+
+def _cmd_index(args) -> int:
+    config = SimulationConfig(seed=args.seed)
+    latent = generate_latent_market(config)
+    universe = generate_universe(config, latent)
+    frame = crypto100_index(universe)
+    share = frame["top100_cap"] / frame["total_cap"]
+    print(f"days: {frame.n_rows}")
+    print(f"Crypto100 range: {frame['crypto100'].min():,.0f} .. "
+          f"{frame['crypto100'].max():,.0f}")
+    print(f"top-100 market share: mean {share.mean():.2%}")
+    best, distances = tune_scaling_power(universe)
+    print(f"best scaling power: {best} (paper: 7)")
+    for power, dist in sorted(distances.items()):
+        marker = " <-- chosen" if power == best else ""
+        print(f"  power {power}: mean |log10(index/BTC)| = "
+              f"{dist:.3f}{marker}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "run": _cmd_run,
+        "index": _cmd_index,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Isolated-category deep dives (§5 'balanced category representation').
+
+The paper notes that "detailed analysis of isolated categories could
+provide additional insight into the impact of individual features within
+their category". This module trains a per-category model and reports the
+internal structure of each data source:
+
+* per-feature importance *within* the category (no cross-category
+  competition, so under-represented categories get a fair reading),
+* the category's standalone predictive power (CV MSE and R²),
+* redundancy: how much of the category's performance survives when its
+  top feature is removed (high survival = internally redundant source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..categories import DataCategory
+from ..ml.forest import RandomForestRegressor
+from ..ml.metrics import mean_squared_error, r2_score
+from ..ml.model_selection import KFold, clone
+from .scenarios import Scenario
+
+__all__ = ["CategoryProfile", "analyze_category", "analyze_all_categories"]
+
+_DEFAULT_RF = {
+    "n_estimators": 15, "max_depth": 12, "max_features": "sqrt",
+    "min_samples_leaf": 2,
+}
+
+
+@dataclass
+class CategoryProfile:
+    """The isolated-category analysis result."""
+
+    category: DataCategory
+    n_features: int
+    cv_mse: float
+    cv_r2: float
+    feature_importance: dict[str, float] = field(default_factory=dict)
+    """Within-category MDI importance, normalised to sum 1."""
+
+    top_feature: str = ""
+    redundancy: float = float("nan")
+    """``mse_without_top / mse_full`` — 1.0 means the top feature is fully
+    substitutable by the rest of the category; large values mean the
+    category leans on that single feature."""
+
+    def ranked_features(self) -> list[tuple[str, float]]:
+        """(feature, importance) pairs, most important first."""
+        return sorted(
+            self.feature_importance.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+
+
+def _cv_scores(X, y, rf_params, folds, random_state):
+    """(mean CV MSE, mean CV R²) of a random forest on (X, y)."""
+    cv = KFold(folds, shuffle=True, random_state=random_state)
+    mses, r2s = [], []
+    template = RandomForestRegressor(random_state=random_state,
+                                     **rf_params)
+    for train_idx, test_idx in cv.split(X):
+        model = clone(template).fit(X[train_idx], y[train_idx])
+        pred = model.predict(X[test_idx])
+        mses.append(mean_squared_error(y[test_idx], pred))
+        r2s.append(r2_score(y[test_idx], pred))
+    return float(np.mean(mses)), float(np.mean(r2s))
+
+
+def analyze_category(
+    scenario: Scenario,
+    category: DataCategory,
+    rf_params: dict | None = None,
+    cv_folds: int = 3,
+    random_state: int = 0,
+) -> CategoryProfile:
+    """Profile one category in isolation on a scenario."""
+    names = scenario.columns_in(category)
+    if not names:
+        raise ValueError(
+            f"scenario {scenario.key} has no candidates in "
+            f"{category.value!r}"
+        )
+    params = rf_params if rf_params is not None else dict(_DEFAULT_RF)
+    sub = scenario.select_features(names)
+
+    cv_mse, cv_r2 = _cv_scores(sub.X, sub.y, params, cv_folds,
+                               random_state)
+
+    model = RandomForestRegressor(random_state=random_state,
+                                  **params).fit(sub.X, sub.y)
+    raw = np.asarray(model.feature_importances_, dtype=np.float64)
+    total = raw.sum()
+    shares = raw / total if total > 0 else raw
+    importance = dict(zip(names, (float(v) for v in shares)))
+    top_feature = max(importance, key=importance.get)
+
+    if len(names) > 1:
+        rest = [n for n in names if n != top_feature]
+        rest_sub = scenario.select_features(rest)
+        mse_without, _ = _cv_scores(rest_sub.X, rest_sub.y, params,
+                                    cv_folds, random_state)
+        redundancy = mse_without / cv_mse if cv_mse > 0 else float("nan")
+    else:
+        redundancy = float("inf")  # nothing left without the only feature
+
+    return CategoryProfile(
+        category=category,
+        n_features=len(names),
+        cv_mse=cv_mse,
+        cv_r2=cv_r2,
+        feature_importance=importance,
+        top_feature=top_feature,
+        redundancy=redundancy,
+    )
+
+
+def analyze_all_categories(
+    scenario: Scenario,
+    rf_params: dict | None = None,
+    cv_folds: int = 3,
+    random_state: int = 0,
+) -> dict[DataCategory, CategoryProfile]:
+    """Profiles for every category with candidates in the scenario."""
+    out: dict[DataCategory, CategoryProfile] = {}
+    for category in DataCategory:
+        if not scenario.columns_in(category):
+            continue
+        out[category] = analyze_category(
+            scenario, category, rf_params=rf_params, cv_folds=cv_folds,
+            random_state=random_state,
+        )
+    return out

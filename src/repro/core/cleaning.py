@@ -1,0 +1,121 @@
+"""The paper's data cleaning and preprocessing phase (§3.1.2).
+
+"...an initial data cleaning and preprocessing phase that included the
+standard methods used in ML such as filling empty data with interpolation,
+removing duplicate values, and discarding features that had flat or
+missing values for very long periods."
+
+Applied per scenario *after* slicing to the scenario period, because a
+series that is flat over 2019-2023 may be informative over 2017-2023 and
+vice versa. Late-starting series (leading NaNs) are handled separately by
+the scenario builder, which discards metrics that began recording after
+the period start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frame.frame import Frame
+from ..frame.missing import (
+    interpolate_linear,
+    leading_nan_count,
+    longest_flat_run,
+    longest_nan_run,
+)
+
+__all__ = ["CleaningReport", "clean_features"]
+
+
+@dataclass
+class CleaningReport:
+    """What the cleaning pass removed, and why."""
+
+    started_late: list[str] = field(default_factory=list)
+    too_many_missing: list[str] = field(default_factory=list)
+    too_flat: list[str] = field(default_factory=list)
+    duplicates: dict[str, str] = field(default_factory=dict)
+    """Dropped duplicate column → the kept column it duplicated."""
+
+    @property
+    def n_dropped(self) -> int:
+        """Total number of columns removed."""
+        return (
+            len(self.started_late)
+            + len(self.too_many_missing)
+            + len(self.too_flat)
+            + len(self.duplicates)
+        )
+
+    def summary(self) -> str:
+        """All performance metrics as one dictionary."""
+        return (
+            f"dropped {self.n_dropped} columns "
+            f"(late-start {len(self.started_late)}, "
+            f"missing {len(self.too_many_missing)}, "
+            f"flat {len(self.too_flat)}, "
+            f"duplicate {len(self.duplicates)})"
+        )
+
+
+def clean_features(
+    frame: Frame,
+    max_nan_run_frac: float = 0.05,
+    max_flat_run_frac: float = 0.25,
+    drop_late_start: bool = True,
+    flat_tol_frac: float = 1e-12,
+) -> tuple[Frame, CleaningReport]:
+    """Run the paper's cleaning recipe over a feature frame.
+
+    Steps, in order:
+
+    1. drop columns that start recording after the frame's first date
+       (leading NaNs) when ``drop_late_start`` is set;
+    2. drop columns whose longest missing run exceeds
+       ``max_nan_run_frac`` of the period;
+    3. linearly interpolate the remaining interior gaps;
+    4. drop columns whose longest flat (constant) run exceeds
+       ``max_flat_run_frac`` of the period;
+    5. drop exact duplicates of earlier columns.
+
+    Returns the cleaned frame and a :class:`CleaningReport`.
+    """
+    if not 0.0 <= max_nan_run_frac <= 1.0:
+        raise ValueError("max_nan_run_frac must be in [0, 1]")
+    if not 0.0 <= max_flat_run_frac <= 1.0:
+        raise ValueError("max_flat_run_frac must be in [0, 1]")
+
+    report = CleaningReport()
+    n_rows = frame.n_rows
+    if n_rows == 0:
+        return frame, report
+
+    kept: dict[str, np.ndarray] = {}
+    seen_hashes: dict[bytes, str] = {}
+    max_nan_run = max_nan_run_frac * n_rows
+    max_flat_run = max_flat_run_frac * n_rows
+
+    for name in frame.columns:
+        col = frame[name]
+        if drop_late_start and leading_nan_count(col) > 0:
+            report.started_late.append(name)
+            continue
+        if longest_nan_run(col) > max_nan_run:
+            report.too_many_missing.append(name)
+            continue
+        filled = interpolate_linear(col)
+        scale = np.nanmax(np.abs(filled)) if filled.size else 0.0
+        tol = flat_tol_frac * scale if np.isfinite(scale) else 0.0
+        if longest_flat_run(filled, tol=tol) > max_flat_run:
+            report.too_flat.append(name)
+            continue
+        digest = filled.tobytes()
+        if digest in seen_hashes:
+            report.duplicates[name] = seen_hashes[digest]
+            continue
+        seen_hashes[digest] = name
+        kept[name] = filled
+
+    return Frame(frame.index, kept), report

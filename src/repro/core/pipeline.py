@@ -1,0 +1,376 @@
+"""End-to-end experiment orchestration.
+
+``run_experiment`` reproduces the paper's full study on one simulated
+dataset: scenario construction → FRA + SHAP selection (Table 1) →
+contribution factors (Figures 3-4) → horizon groups (Tables 3-4) →
+diversity improvement study for RF and XGB-style models (Tables 5-6 and
+the §4.3 overall numbers).
+
+Three presets trade fidelity for runtime:
+
+* ``ExperimentConfig.fast()`` — minutes; used by the test-suite and for
+  smoke runs (smaller ensembles, two windows, relaxed FRA target).
+* ``ExperimentConfig.default()`` — the benchmark preset: all 10
+  scenarios at moderate ensemble sizes.
+* ``ExperimentConfig.paper()`` — full grids and ensembles; slow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from ..categories import DataCategory
+from ..synth.config import SimulationConfig
+from ..synth.dataset import RawDataset, generate_raw_dataset
+from .contribution import contribution_factors
+from .fra import FRAConfig
+from .horizons import (
+    LONG_TERM_WINDOWS,
+    SHORT_TERM_WINDOWS,
+    HorizonGroup,
+    merge_group,
+    rf_feature_importance,
+    top_features,
+    unique_features,
+)
+from .improvement import (
+    ImprovementConfig,
+    ScenarioImprovement,
+    average_by_category,
+    average_by_window,
+    overall_average,
+    scenario_improvements,
+)
+from .scenarios import (
+    PREDICTION_WINDOWS,
+    Scenario,
+    build_all_scenarios,
+)
+from .selection import SelectionResult, SHAPConfig, select_final_features
+
+__all__ = ["ExperimentConfig", "ScenarioArtifacts", "ExperimentResults",
+           "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Every knob of a full experiment run."""
+
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    fra: FRAConfig = field(default_factory=FRAConfig)
+    shap: SHAPConfig = field(default_factory=SHAPConfig)
+    improvement_rf: ImprovementConfig = field(
+        default_factory=lambda: ImprovementConfig(model="rf")
+    )
+    improvement_gb: ImprovementConfig = field(
+        default_factory=lambda: ImprovementConfig(model="gb")
+    )
+    top_k: int = 75
+    periods: tuple = ("2017", "2019")
+    windows: tuple = PREDICTION_WINDOWS
+    rf_importance_params: dict = field(default_factory=lambda: {
+        "n_estimators": 30, "max_depth": 12, "max_features": "sqrt",
+        "min_samples_leaf": 2,
+    })
+    run_gb_validation: bool = True
+    verbose: bool = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fast(cls, seed: int = 20240701) -> "ExperimentConfig":
+        """Small-but-complete preset for tests and smoke runs."""
+        return cls(
+            simulation=SimulationConfig(
+                start="2016-06-01", end="2020-12-31", seed=seed,
+                n_assets=105,
+            ),
+            fra=FRAConfig(
+                target_size=40,
+                rf_params={"n_estimators": 8, "max_depth": 8,
+                           "max_features": "sqrt", "min_samples_leaf": 2},
+                gb_params={"n_estimators": 15, "max_depth": 3,
+                           "learning_rate": 0.15, "max_features": "sqrt",
+                           "subsample": 0.8, "reg_lambda": 1.0},
+                pfi_repeats=1,
+                pfi_max_rows=150,
+            ),
+            shap=SHAPConfig(
+                gb_params={"n_estimators": 10, "max_depth": 3,
+                           "learning_rate": 0.15, "subsample": 0.8,
+                           "reg_lambda": 1.0},
+                max_rows=40,
+            ),
+            improvement_rf=ImprovementConfig(
+                model="rf",
+                param_grid={"n_estimators": [10], "max_depth": [10],
+                            "max_features": ["sqrt"]},
+                cv_folds=3,
+            ),
+            improvement_gb=ImprovementConfig(
+                model="gb",
+                param_grid={"n_estimators": [20], "max_depth": [3]},
+                cv_folds=3,
+            ),
+            top_k=30,
+            windows=(7, 90),
+            rf_importance_params={"n_estimators": 10, "max_depth": 10,
+                                  "max_features": "sqrt",
+                                  "min_samples_leaf": 2},
+        )
+
+    @classmethod
+    def bench(cls, seed: int = 20240701,
+              verbose: bool = False) -> "ExperimentConfig":
+        """Benchmark preset: the paper's full 10-scenario grid with
+        lighter ensembles, sized to finish in minutes."""
+        return cls(
+            simulation=SimulationConfig(seed=seed),
+            fra=FRAConfig(
+                rf_params={"n_estimators": 10, "max_depth": 9,
+                           "max_features": "sqrt", "min_samples_leaf": 2},
+                gb_params={"n_estimators": 20, "max_depth": 3,
+                           "learning_rate": 0.15, "max_features": "sqrt",
+                           "subsample": 0.8, "reg_lambda": 1.0},
+                pfi_repeats=1,
+                pfi_max_rows=250,
+            ),
+            shap=SHAPConfig(
+                gb_params={"n_estimators": 15, "max_depth": 3,
+                           "learning_rate": 0.15, "subsample": 0.8,
+                           "reg_lambda": 1.0},
+                max_rows=60,
+            ),
+            improvement_rf=ImprovementConfig(
+                model="rf",
+                param_grid={"n_estimators": [15], "max_depth": [12],
+                            "max_features": ["sqrt"]},
+                cv_folds=3,
+            ),
+            improvement_gb=ImprovementConfig(
+                model="gb",
+                param_grid={"n_estimators": [30], "max_depth": [3]},
+                cv_folds=3,
+            ),
+            rf_importance_params={"n_estimators": 15, "max_depth": 12,
+                                  "max_features": "sqrt",
+                                  "min_samples_leaf": 2},
+            verbose=verbose,
+        )
+
+    @classmethod
+    def default(cls, seed: int = 20240701,
+                verbose: bool = False) -> "ExperimentConfig":
+        """The benchmark preset: all scenarios, moderate model sizes."""
+        return cls(
+            simulation=SimulationConfig(seed=seed),
+            improvement_rf=ImprovementConfig(
+                model="rf",
+                param_grid={"n_estimators": [25], "max_depth": [10, 16],
+                            "max_features": ["sqrt"]},
+                cv_folds=3,
+            ),
+            improvement_gb=ImprovementConfig(
+                model="gb",
+                param_grid={"n_estimators": [60], "max_depth": [3, 5]},
+                cv_folds=3,
+            ),
+            verbose=verbose,
+        )
+
+    @classmethod
+    def paper(cls, seed: int = 20240701,
+              verbose: bool = True) -> "ExperimentConfig":
+        """Full-fidelity preset (hours): the paper's 5-fold grids."""
+        base = cls.default(seed=seed, verbose=verbose)
+        return replace(
+            base,
+            fra=FRAConfig(
+                rf_params={"n_estimators": 60, "max_depth": 14,
+                           "max_features": "sqrt", "min_samples_leaf": 2},
+                gb_params={"n_estimators": 120, "max_depth": 5,
+                           "learning_rate": 0.08, "max_features": "sqrt",
+                           "subsample": 0.8, "reg_lambda": 1.0},
+                pfi_repeats=3,
+                pfi_max_rows=800,
+            ),
+            shap=SHAPConfig(max_rows=300),
+            improvement_rf=ImprovementConfig(model="rf", cv_folds=5),
+            improvement_gb=ImprovementConfig(model="gb", cv_folds=5),
+        )
+
+
+@dataclass
+class ScenarioArtifacts:
+    """Everything computed for one scenario."""
+
+    scenario: Scenario
+    selection: SelectionResult
+    rf_importance: dict[str, float]
+    """Fine-tuned-RF importance of every final-vector feature (§4.2)."""
+
+
+@dataclass
+class ExperimentResults:
+    """The full study's outputs, with per-table accessors."""
+
+    config: ExperimentConfig
+    raw: RawDataset
+    artifacts: dict[str, ScenarioArtifacts]
+    improvements_rf: list[ScenarioImprovement]
+    improvements_gb: list[ScenarioImprovement]
+    runtime_seconds: float = 0.0
+
+    # ----- Table 1 ------------------------------------------------------
+    def table1_vector_sizes(self) -> dict[str, int]:
+        """Scenario key → final feature-vector length."""
+        return {
+            key: art.selection.n_features
+            for key, art in self.artifacts.items()
+        }
+
+    # ----- §3.2 validation ------------------------------------------------
+    def mean_shap_overlap(self) -> float:
+        """Average |SHAP top-100 ∩ FRA survivors| across scenarios."""
+        overlaps = [
+            art.selection.overlap_top100 for art in self.artifacts.values()
+        ]
+        return sum(overlaps) / len(overlaps)
+
+    # ----- Figures 3-4 -----------------------------------------------------
+    def contributions(self, period: str
+                      ) -> dict[int, dict[DataCategory, float]]:
+        """{window: {category: contribution factor}} for one period."""
+        out = {}
+        for art in self.artifacts.values():
+            sc = art.scenario
+            if sc.period == period:
+                out[sc.window] = contribution_factors(
+                    sc, art.selection.final_features
+                )
+        return dict(sorted(out.items()))
+
+    # ----- Tables 3-4 ---------------------------------------------------------
+    def horizon_groups(self, period: str
+                       ) -> tuple[HorizonGroup, HorizonGroup]:
+        """(short-term, long-term) merged importance groups."""
+        short, long_ = [], []
+        for art in self.artifacts.values():
+            sc = art.scenario
+            if sc.period != period:
+                continue
+            if sc.window in SHORT_TERM_WINDOWS:
+                short.append(art.rf_importance)
+            elif sc.window in LONG_TERM_WINDOWS:
+                long_.append(art.rf_importance)
+        if not short or not long_:
+            raise ValueError(
+                f"period {period!r} lacks scenarios in both horizon groups"
+            )
+        return (
+            merge_group("Short-term", short),
+            merge_group("Long-term", long_),
+        )
+
+    def table3_top_features(self, period: str, k: int = 5
+                            ) -> dict[str, list[str]]:
+        """Table 3: top-k features per horizon group."""
+        short, long_ = self.horizon_groups(period)
+        return {
+            "Short-term": top_features(short, k),
+            "Long-term": top_features(long_, k),
+        }
+
+    def table4_unique_features(self, period: str, k: int = 20
+                               ) -> dict[str, list[str]]:
+        """Table 4: top-k group-unique features."""
+        short, long_ = self.horizon_groups(period)
+        return {
+            "Short-term": unique_features(short, long_, k),
+            "Long-term": unique_features(long_, short, k),
+        }
+
+    # ----- Tables 5-6 and §4.3 -------------------------------------------------
+    def table5_improvement_by_window(self, period: str,
+                                     model: str = "rf"
+                                     ) -> dict[int, float]:
+        """Table 5: mean improvement per window."""
+        return average_by_window(self._improvements(model), period)
+
+    def table6_improvement_by_category(self, period: str,
+                                       model: str = "rf"
+                                       ) -> dict[DataCategory, float]:
+        """Table 6: mean improvement per category."""
+        return average_by_category(self._improvements(model), period)
+
+    def overall_improvement(self, period: str, model: str = "rf") -> float:
+        """The §4.3 all-scenario average improvement."""
+        return overall_average(self._improvements(model), period)
+
+    def _improvements(self, model: str) -> list[ScenarioImprovement]:
+        if model == "rf":
+            return self.improvements_rf
+        if model == "gb":
+            if not self.improvements_gb:
+                raise ValueError("the run skipped the GB validation pass")
+            return self.improvements_gb
+        raise ValueError(f"unknown model family {model!r}")
+
+
+def run_experiment(config: ExperimentConfig | None = None,
+                   raw: RawDataset | None = None) -> ExperimentResults:
+    """Execute the full study; see the module docstring for the stages."""
+    config = config if config is not None else ExperimentConfig.default()
+    started = time.perf_counter()
+    log = print if config.verbose else (lambda *_: None)
+
+    if raw is None:
+        log("generating synthetic dataset...")
+        raw = generate_raw_dataset(config.simulation)
+
+    log(f"building scenarios for periods={config.periods} "
+        f"windows={config.windows}")
+    scenarios = build_all_scenarios(
+        raw, periods=config.periods, windows=config.windows
+    )
+
+    artifacts: dict[str, ScenarioArtifacts] = {}
+    improvements_rf: list[ScenarioImprovement] = []
+    improvements_gb: list[ScenarioImprovement] = []
+    for key, scenario in scenarios.items():
+        log(f"[{key}] FRA + SHAP selection "
+            f"({scenario.n_features} candidates)...")
+        selection = select_final_features(
+            scenario.X, scenario.y, scenario.feature_names,
+            fra_config=config.fra, shap_config=config.shap,
+            top_k=config.top_k,
+        )
+        log(f"[{key}] final vector: {selection.n_features} features, "
+            f"SHAP overlap {selection.overlap_top100}")
+        importance = rf_feature_importance(
+            scenario, selection.final_features,
+            rf_params=config.rf_importance_params,
+        )
+        artifacts[key] = ScenarioArtifacts(
+            scenario=scenario,
+            selection=selection,
+            rf_importance=importance,
+        )
+        log(f"[{key}] improvement study (RF)...")
+        improvements_rf.append(scenario_improvements(
+            scenario, selection.final_features, config.improvement_rf
+        ))
+        if config.run_gb_validation:
+            log(f"[{key}] improvement study (GB)...")
+            improvements_gb.append(scenario_improvements(
+                scenario, selection.final_features, config.improvement_gb
+            ))
+
+    return ExperimentResults(
+        config=config,
+        raw=raw,
+        artifacts=artifacts,
+        improvements_rf=improvements_rf,
+        improvements_gb=improvements_gb,
+        runtime_seconds=time.perf_counter() - started,
+    )

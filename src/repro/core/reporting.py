@@ -1,0 +1,172 @@
+"""Plain-text renderers for the paper's tables and figure series.
+
+The benches print these so a reproduction run reads like the paper's
+evaluation section. Everything returns strings; nothing writes files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..categories import CATEGORY_LABELS, DataCategory
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_contributions",
+    "render_top_features",
+    "render_unique_features",
+    "render_improvement_by_window",
+    "render_improvement_by_category",
+    "render_series",
+]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[j]) for row in cells) for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(sizes: Mapping[str, int]) -> str:
+    """Table 1: final feature-vector size per scenario."""
+    rows = [(key, n) for key, n in sizes.items()]
+    return format_table(
+        ["Scenario", "Number of Features"], rows,
+        title="Table 1: Summary of final feature vectors "
+              "(year_prediction window)",
+    )
+
+
+def render_contributions(
+    per_window: Mapping[int, Mapping[DataCategory, float]],
+    period: str,
+) -> str:
+    """Figures 3/4 as a table: contribution factor per category/window."""
+    windows = sorted(per_window)
+    categories = sorted(
+        {c for factors in per_window.values() for c in factors},
+        key=lambda c: c.value,
+    )
+    rows = []
+    for category in categories:
+        rows.append(
+            [CATEGORY_LABELS[category]]
+            + [f"{per_window[w].get(category, 0.0):.3f}" for w in windows]
+        )
+    return format_table(
+        ["Category"] + [f"w={w}" for w in windows],
+        rows,
+        title=f"Figure {'3' if period == '2017' else '4'}: contribution "
+              f"of data sources to the final vector (set {period})",
+    )
+
+
+def render_top_features(table: Mapping[str, Sequence[str]],
+                        period: str) -> str:
+    """Table 3: top-k features per horizon group."""
+    short = list(table["Short-term"])
+    long_ = list(table["Long-term"])
+    rows = [
+        (short[i] if i < len(short) else "",
+         long_[i] if i < len(long_) else "")
+        for i in range(max(len(short), len(long_)))
+    ]
+    return format_table(
+        ["Short-term", "Long-term"], rows,
+        title=f"Table 3 (set {period}): top features by importance",
+    )
+
+
+def render_unique_features(table: Mapping[str, Sequence[str]],
+                           period: str) -> str:
+    """Table 4: top-k unique features per horizon group."""
+    short = list(table["Short-term"])
+    long_ = list(table["Long-term"])
+    rows = [
+        (short[i] if i < len(short) else "",
+         long_[i] if i < len(long_) else "")
+        for i in range(max(len(short), len(long_)))
+    ]
+    return format_table(
+        ["Short-term", "Long-term"], rows,
+        title=f"Table 4 (set {period}): top unique features per horizon",
+    )
+
+
+def render_improvement_by_window(
+    by_period: Mapping[str, Mapping[int, float]]
+) -> str:
+    """Table 5: average MSE decrease by prediction window and period."""
+    periods = list(by_period)
+    windows = sorted({w for col in by_period.values() for w in col})
+    rows = []
+    for window in windows:
+        rows.append(
+            [window]
+            + [
+                f"{by_period[p][window]:.2f}%" if window in by_period[p]
+                else "-"
+                for p in periods
+            ]
+        )
+    return format_table(
+        ["Prediction Window"] + list(periods), rows,
+        title="Table 5: average MSE percentage decrease by window",
+    )
+
+
+def render_improvement_by_category(
+    by_period: Mapping[str, Mapping[DataCategory, float]]
+) -> str:
+    """Table 6: average MSE decrease by data category and period."""
+    periods = list(by_period)
+    categories = sorted(
+        {c for col in by_period.values() for c in col},
+        key=lambda c: c.value,
+    )
+    rows = []
+    for category in categories:
+        rows.append(
+            [CATEGORY_LABELS[category]]
+            + [
+                f"{by_period[p][category]:.2f}%" if category in by_period[p]
+                else "-"
+                for p in periods
+            ]
+        )
+    return format_table(
+        ["Category"] + list(periods), rows,
+        title="Table 6: average MSE percentage decrease by category",
+    )
+
+
+def render_series(name: str, values: Sequence[float],
+                  max_points: int = 12) -> str:
+    """One-line summary of a numeric series (for figure benches)."""
+    values = list(values)
+    if not values:
+        return f"{name}: (empty)"
+    step = max(1, len(values) // max_points)
+    sampled = values[::step]
+    body = ", ".join(f"{v:.4g}" for v in sampled)
+    return (
+        f"{name}: n={len(values)} first={values[0]:.4g} "
+        f"last={values[-1]:.4g} min={min(values):.4g} "
+        f"max={max(values):.4g}\n  samples: [{body}]"
+    )

@@ -1,0 +1,112 @@
+"""FRA stability analysis across random seeds.
+
+§4.1 closes with: "To confirm that these differences are due to changing
+market behavior and not noise, future research could focus on enhancing
+FRA by incorporating more dynamic elements, thereby increasing its
+robustness." This module measures that robustness directly: run the
+reduction under several seeds (bootstrap draws, feature subsampling and
+PFI shuffles all change) and report
+
+* per-feature *selection frequency* — how often each candidate survives,
+* the mean pairwise Jaccard similarity of the selected sets,
+* the "core" features that survive (nearly) always.
+
+A selection that flips wildly across seeds is noise; a stable core is
+signal. The same report applied across *periods* separates market change
+from algorithmic variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import combinations
+
+from .fra import FRAConfig, fra_reduce
+
+__all__ = ["StabilityReport", "fra_stability", "jaccard"]
+
+
+def jaccard(a, b) -> float:
+    """|A ∩ B| / |A ∪ B|; 1.0 for two empty sets."""
+    a, b = set(a), set(b)
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+@dataclass
+class StabilityReport:
+    """Outcome of a multi-seed FRA stability run."""
+
+    n_runs: int
+    selection_frequency: dict[str, float] = field(default_factory=dict)
+    """Candidate feature → fraction of runs in which it survived."""
+
+    mean_jaccard: float = 0.0
+    """Average pairwise Jaccard similarity of the selected sets."""
+
+    mean_size: float = 0.0
+
+    def core_features(self, threshold: float = 0.8) -> list[str]:
+        """Features surviving in at least ``threshold`` of the runs,
+        most-frequent first."""
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        hits = [
+            (name, freq)
+            for name, freq in self.selection_frequency.items()
+            if freq >= threshold
+        ]
+        hits.sort(key=lambda kv: (-kv[1], kv[0]))
+        return [name for name, _ in hits]
+
+    def unstable_features(self, low: float = 0.2,
+                          high: float = 0.8) -> list[str]:
+        """Features that survive sometimes but not reliably."""
+        return sorted(
+            name for name, freq in self.selection_frequency.items()
+            if low <= freq < high
+        )
+
+
+def fra_stability(
+    X,
+    y,
+    feature_names,
+    config: FRAConfig | None = None,
+    n_seeds: int = 5,
+    base_seed: int = 0,
+) -> StabilityReport:
+    """Run FRA under ``n_seeds`` different random states and compare.
+
+    Only ``random_state`` varies between runs; data and all other
+    configuration are held fixed, so the report isolates the algorithm's
+    own stochasticity.
+    """
+    if n_seeds < 2:
+        raise ValueError("need at least two runs to measure stability")
+    config = config if config is not None else FRAConfig()
+    names = list(feature_names)
+
+    selections: list[set] = []
+    for k in range(n_seeds):
+        cfg = replace(config, random_state=base_seed + k)
+        result = fra_reduce(X, y, names, cfg)
+        selections.append(set(result.selected))
+
+    counts = {name: 0 for name in names}
+    for selected in selections:
+        for name in selected:
+            counts[name] += 1
+    frequency = {name: counts[name] / n_seeds for name in names}
+
+    similarities = [
+        jaccard(a, b) for a, b in combinations(selections, 2)
+    ]
+    return StabilityReport(
+        n_runs=n_seeds,
+        selection_frequency=frequency,
+        mean_jaccard=(sum(similarities) / len(similarities)),
+        mean_size=sum(len(s) for s in selections) / n_seeds,
+    )

@@ -1,0 +1,80 @@
+"""Columnar daily-time-series substrate (the reproduction's pandas stand-in).
+
+Public surface:
+
+* :class:`DateIndex`, :func:`date_range` — daily calendar indices.
+* :class:`Frame` — immutable named float64 columns over a ``DateIndex``.
+* join/lag/rolling ops in :mod:`repro.frame.ops`.
+* missing-data primitives in :mod:`repro.frame.missing`.
+* CSV round-trip in :mod:`repro.frame.io`.
+"""
+
+from .frame import Frame
+from .index import DateIndex, as_ordinal, date_range
+from .io import read_csv, write_csv
+from .missing import (
+    backward_fill,
+    fill_frame,
+    forward_fill,
+    interpolate_linear,
+    leading_nan_count,
+    longest_flat_run,
+    longest_nan_run,
+)
+from .transform import diff, resample_frame, winsorize, zscore
+from .validation import (
+    ColumnRule,
+    ValidationIssue,
+    ValidationReport,
+    validate_frame,
+)
+from .ops import (
+    concat_columns,
+    inner_join,
+    log_returns,
+    outer_join,
+    pct_change,
+    rolling_apply,
+    rolling_max,
+    rolling_mean,
+    rolling_min,
+    rolling_std,
+    rolling_sum,
+    shift,
+)
+
+__all__ = [
+    "ColumnRule",
+    "DateIndex",
+    "Frame",
+    "ValidationIssue",
+    "ValidationReport",
+    "as_ordinal",
+    "backward_fill",
+    "concat_columns",
+    "date_range",
+    "diff",
+    "fill_frame",
+    "forward_fill",
+    "inner_join",
+    "interpolate_linear",
+    "leading_nan_count",
+    "log_returns",
+    "longest_flat_run",
+    "longest_nan_run",
+    "outer_join",
+    "pct_change",
+    "read_csv",
+    "resample_frame",
+    "rolling_apply",
+    "rolling_max",
+    "rolling_mean",
+    "rolling_min",
+    "rolling_std",
+    "rolling_sum",
+    "shift",
+    "validate_frame",
+    "winsorize",
+    "write_csv",
+    "zscore",
+]

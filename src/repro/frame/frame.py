@@ -1,0 +1,282 @@
+"""A lightweight columnar data frame over a :class:`~repro.frame.index.DateIndex`.
+
+``Frame`` is the substrate replacing pandas in this reproduction. It stores
+named float64 columns of equal length aligned to a shared daily date index,
+and supports exactly the operations the paper's pipeline needs:
+
+* column selection / addition / removal / renaming,
+* positional and date-range row slicing,
+* reindexing onto another date index (introducing NaNs where data is
+  missing — how late-starting series such as USDC metrics are aligned),
+* conversion to a dense ``(n_rows, n_cols)`` matrix for model training,
+* elementwise arithmetic between columns and scalars.
+
+All mutating operations return **new** frames; column arrays are copied on
+construction and exposed read-only, so frames behave as immutable values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .index import DateIndex
+
+__all__ = ["Frame"]
+
+
+class Frame:
+    """Immutable columnar table of float64 series sharing a ``DateIndex``.
+
+    Parameters
+    ----------
+    index:
+        The shared daily date index.
+    columns:
+        Mapping of column name to 1-D array-like of the same length as
+        ``index``. Values are converted to float64; ``None`` entries become
+        NaN.
+    """
+
+    __slots__ = ("_index", "_names", "_data")
+
+    def __init__(self, index: DateIndex, columns: Mapping[str, Iterable]):
+        if not isinstance(index, DateIndex):
+            raise TypeError("index must be a DateIndex")
+        self._index = index
+        self._names: list[str] = []
+        self._data: dict[str, np.ndarray] = {}
+        for name, values in columns.items():
+            arr = np.asarray(values, dtype=np.float64).copy()
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D")
+            if arr.size != len(index):
+                raise ValueError(
+                    f"column {name!r} has length {arr.size}, "
+                    f"index has length {len(index)}"
+                )
+            arr.flags.writeable = False
+            if name in self._data:
+                raise ValueError(f"duplicate column name {name!r}")
+            self._names.append(str(name))
+            self._data[str(name)] = arr
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls, index: DateIndex, matrix: np.ndarray, names: Sequence[str]
+    ) -> "Frame":
+        """Build a frame from a dense ``(n_rows, n_cols)`` matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        if matrix.shape[1] != len(names):
+            raise ValueError("matrix width does not match number of names")
+        return cls(index, {n: matrix[:, j] for j, n in enumerate(names)})
+
+    @classmethod
+    def empty(cls, index: DateIndex) -> "Frame":
+        """A frame with the given index and no columns."""
+        return cls(index, {})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> DateIndex:
+        """The shared daily date index."""
+        return self._index
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, in insertion order."""
+        return list(self._names)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_rows, n_cols)."""
+        return (len(self._index), len(self._names))
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return len(self._index)
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return len(self._names)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __repr__(self) -> str:
+        return f"Frame(n_rows={self.n_rows}, n_cols={self.n_cols})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self._index != other._index or self._names != other._names:
+            return False
+        return all(
+            np.array_equal(self._data[n], other._data[n], equal_nan=True)
+            for n in self._names
+        )
+
+    __hash__ = None  # frames hold arrays; equality is deep
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the (read-only) array of a single column."""
+        try:
+            return self._data[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}") from None
+
+    def get(self, name: str, default=None):
+        """Column array by name, or ``default`` when absent."""
+        return self._data.get(name, default)
+
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Return a new frame with only the given columns, in that order."""
+        missing = [n for n in names if n not in self._data]
+        if missing:
+            raise KeyError(f"columns not found: {missing}")
+        return Frame(self._index, {n: self._data[n] for n in names})
+
+    def drop(self, names: Sequence[str]) -> "Frame":
+        """Return a new frame without the given columns (missing names error)."""
+        to_drop = set(names)
+        missing = to_drop - set(self._names)
+        if missing:
+            raise KeyError(f"columns not found: {sorted(missing)}")
+        kept = [n for n in self._names if n not in to_drop]
+        return Frame(self._index, {n: self._data[n] for n in kept})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """Return a frame with columns renamed via ``mapping``."""
+        missing = [n for n in mapping if n not in self._data]
+        if missing:
+            raise KeyError(f"columns not found: {missing}")
+        new_names = [mapping.get(n, n) for n in self._names]
+        if len(set(new_names)) != len(new_names):
+            raise ValueError("rename would create duplicate column names")
+        return Frame(
+            self._index,
+            {new: self._data[old] for old, new in zip(self._names, new_names)},
+        )
+
+    def with_column(self, name: str, values: Iterable) -> "Frame":
+        """Return a frame with ``name`` added (or replaced)."""
+        cols = {n: self._data[n] for n in self._names}
+        cols[name] = np.asarray(values, dtype=np.float64)
+        return Frame(self._index, cols)
+
+    def with_prefix(self, prefix: str) -> "Frame":
+        """Return a frame with every column name prefixed."""
+        return Frame(
+            self._index, {prefix + n: self._data[n] for n in self._names}
+        )
+
+    # ------------------------------------------------------------------
+    # Row slicing
+    # ------------------------------------------------------------------
+    def iloc(self, item) -> "Frame":
+        """Positional row slicing (slice or integer/boolean array)."""
+        if isinstance(item, slice):
+            new_index = self._index[item]
+            return Frame(
+                new_index, {n: self._data[n][item] for n in self._names}
+            )
+        sel = np.asarray(item)
+        if sel.dtype == bool:
+            sel = np.flatnonzero(sel)
+        new_index = DateIndex(
+            self._index.ordinals[sel], _validated=True
+        )
+        return Frame(new_index, {n: self._data[n][sel] for n in self._names})
+
+    def loc_range(self, start=None, end=None) -> "Frame":
+        """Rows with dates in the inclusive range ``[start, end]``."""
+        return self.iloc(self._index.slice_positions(start, end))
+
+    def head(self, n: int = 5) -> "Frame":
+        """The first ``n`` rows as a new frame."""
+        return self.iloc(slice(0, n))
+
+    def tail(self, n: int = 5) -> "Frame":
+        """The last ``n`` rows as a new frame."""
+        return self.iloc(slice(max(len(self) - n, 0), len(self)))
+
+    # ------------------------------------------------------------------
+    # Alignment
+    # ------------------------------------------------------------------
+    def reindex(self, new_index: DateIndex) -> "Frame":
+        """Align onto ``new_index``; dates absent from self become NaN rows."""
+        pos = self._index.indexer(new_index)
+        found = pos >= 0
+        cols = {}
+        for n in self._names:
+            out = np.full(len(new_index), np.nan)
+            out[found] = self._data[n][pos[found]]
+            cols[n] = out
+        return Frame(new_index, cols)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Dense float64 matrix ``(n_rows, n_cols)`` in column order."""
+        use = list(names) if names is not None else self._names
+        if not use:
+            return np.empty((self.n_rows, 0))
+        return np.column_stack([self[n] for n in use])
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """Shallow mapping of column name to (read-only) array."""
+        return {n: self._data[n] for n in self._names}
+
+    # ------------------------------------------------------------------
+    # Elementwise helpers
+    # ------------------------------------------------------------------
+    def map_columns(self, func) -> "Frame":
+        """Apply ``func(array) -> array`` to every column."""
+        return Frame(
+            self._index,
+            {n: np.asarray(func(self._data[n]), dtype=np.float64)
+             for n in self._names},
+        )
+
+    def nan_fraction(self) -> dict[str, float]:
+        """Per-column fraction of NaN entries."""
+        n = max(self.n_rows, 1)
+        return {
+            name: float(np.isnan(self._data[name]).sum()) / n
+            for name in self._names
+        }
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-column mean/std/min/max ignoring NaNs (NaN when all-NaN)."""
+        out = {}
+        for name in self._names:
+            col = self._data[name]
+            valid = col[~np.isnan(col)]
+            if valid.size == 0:
+                stats = {k: float("nan") for k in ("mean", "std", "min", "max")}
+            else:
+                stats = {
+                    "mean": float(valid.mean()),
+                    "std": float(valid.std()),
+                    "min": float(valid.min()),
+                    "max": float(valid.max()),
+                }
+            out[name] = stats
+        return out

@@ -1,0 +1,70 @@
+"""CSV persistence for frames.
+
+The paper distributes its collected datasets as flat files; this module
+gives the reproduction the same capability so generated synthetic datasets
+can be cached on disk and reloaded without re-simulating.
+
+Format: a header row ``date,<col1>,<col2>,...`` followed by one ISO-dated
+row per day. Missing values are written as empty fields.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+import numpy as np
+
+from .frame import Frame
+from .index import DateIndex
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(frame: Frame, path) -> None:
+    """Write ``frame`` to ``path`` (parent directories must exist)."""
+    path = Path(path)
+    names = frame.columns
+    arrays = [frame[n] for n in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["date", *names])
+        for i, day in enumerate(frame.index):
+            row = [day.isoformat()]
+            for arr in arrays:
+                value = arr[i]
+                row.append("" if math.isnan(value) else repr(float(value)))
+            writer.writerow(row)
+
+
+def read_csv(path) -> Frame:
+    """Read a frame previously written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if not header or header[0] != "date":
+            raise ValueError(f"{path} does not look like a frame CSV")
+        names = header[1:]
+        dates: list[str] = []
+        rows: list[list[float]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            dates.append(row[0])
+            rows.append(
+                [float(field) if field else math.nan for field in row[1:]]
+            )
+    index = DateIndex(dates)
+    if not rows:
+        matrix = np.empty((0, len(names)))
+    else:
+        matrix = np.asarray(rows, dtype=np.float64)
+    return Frame.from_matrix(index, matrix, names)

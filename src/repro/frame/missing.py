@@ -1,0 +1,126 @@
+"""Missing-data primitives used by the paper's cleaning phase.
+
+The preprocessing described in §3.1.2 of the paper "included the standard
+methods used in ML such as filling empty data with interpolation, removing
+duplicate values, and discarding features that had flat or missing values
+for very long periods". This module provides the array-level building
+blocks; :mod:`repro.core.cleaning` composes them into the full pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .frame import Frame
+
+__all__ = [
+    "interpolate_linear",
+    "forward_fill",
+    "backward_fill",
+    "longest_nan_run",
+    "longest_flat_run",
+    "leading_nan_count",
+    "fill_frame",
+]
+
+
+def interpolate_linear(values: np.ndarray) -> np.ndarray:
+    """Linearly interpolate interior NaNs; leading/trailing NaNs are kept.
+
+    Interpolation only bridges gaps that have valid observations on *both*
+    sides, matching how one fills missing daily records in a series that
+    has already started recording.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = values.copy()
+    nan_mask = np.isnan(out)
+    if not nan_mask.any() or nan_mask.all():
+        return out
+    idx = np.arange(out.size)
+    valid = ~nan_mask
+    first, last = idx[valid][0], idx[valid][-1]
+    interior = nan_mask & (idx >= first) & (idx <= last)
+    out[interior] = np.interp(idx[interior], idx[valid], out[valid])
+    return out
+
+
+def forward_fill(values: np.ndarray, limit: int | None = None) -> np.ndarray:
+    """Propagate the last valid observation forward (optionally length-capped)."""
+    values = np.asarray(values, dtype=np.float64)
+    out = values.copy()
+    nan_mask = np.isnan(out)
+    if not nan_mask.any():
+        return out
+    idx = np.arange(out.size)
+    last_valid = np.where(nan_mask, -1, idx)
+    np.maximum.accumulate(last_valid, out=last_valid)
+    fillable = nan_mask & (last_valid >= 0)
+    if limit is not None:
+        fillable &= (idx - last_valid) <= limit
+    out[fillable] = out[last_valid[fillable]]
+    return out
+
+
+def backward_fill(values: np.ndarray, limit: int | None = None) -> np.ndarray:
+    """Propagate the next valid observation backward (optionally length-capped)."""
+    return forward_fill(np.asarray(values)[::-1], limit=limit)[::-1]
+
+
+def _run_lengths(mask: np.ndarray) -> np.ndarray:
+    """Lengths of each maximal run of True values in ``mask``."""
+    if mask.size == 0:
+        return np.empty(0, dtype=np.int64)
+    padded = np.concatenate(([False], mask, [False]))
+    changes = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    starts, ends = changes[::2], changes[1::2]
+    return (ends - starts).astype(np.int64)
+
+
+def longest_nan_run(values: np.ndarray) -> int:
+    """Length of the longest consecutive NaN stretch."""
+    runs = _run_lengths(np.isnan(np.asarray(values, dtype=np.float64)))
+    return int(runs.max()) if runs.size else 0
+
+
+def longest_flat_run(values: np.ndarray, tol: float = 0.0) -> int:
+    """Length of the longest stretch of (near-)constant consecutive values.
+
+    A run of length ``k`` means ``k`` consecutive observations share the
+    same value (within ``tol``); NaN stretches do not count as flat. A
+    series with at least one observation has flat-run length >= 1.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0
+    diffs = np.abs(np.diff(values))
+    same = (diffs <= tol) & ~np.isnan(diffs)
+    runs = _run_lengths(same)
+    return int(runs.max()) + 1 if runs.size else 1
+
+
+def leading_nan_count(values: np.ndarray) -> int:
+    """Number of NaNs before the first valid observation."""
+    values = np.asarray(values, dtype=np.float64)
+    valid = np.flatnonzero(~np.isnan(values))
+    return int(valid[0]) if valid.size else int(values.size)
+
+
+def fill_frame(frame: Frame, method: str = "interpolate") -> Frame:
+    """Fill missing interior data in every column of ``frame``.
+
+    ``method`` is one of ``"interpolate"``, ``"ffill"``, ``"bfill"``.
+    Leading NaNs (before a series starts recording) are never invented by
+    ``"interpolate"`` or ``"ffill"``.
+    """
+    fillers = {
+        "interpolate": interpolate_linear,
+        "ffill": forward_fill,
+        "bfill": backward_fill,
+    }
+    try:
+        filler = fillers[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown fill method {method!r}; choose from {sorted(fillers)}"
+        ) from None
+    return frame.map_columns(filler)

@@ -1,0 +1,153 @@
+"""Frame-level operations: joins, lags, returns, rolling windows.
+
+These are the relational/time-series primitives the dataset-assembly and
+feature-engineering stages are built on. Joins align heterogeneous data
+sources onto one calendar; ``shift``/``lag_features`` build the supervised
+learning matrix (features at day *t*, target at day *t + w*); the rolling
+helpers back the technical-indicator suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .frame import Frame
+from .index import DateIndex
+
+__all__ = [
+    "outer_join",
+    "inner_join",
+    "concat_columns",
+    "shift",
+    "pct_change",
+    "log_returns",
+    "rolling_apply",
+    "rolling_mean",
+    "rolling_std",
+    "rolling_min",
+    "rolling_max",
+    "rolling_sum",
+]
+
+
+def _join(frames: Sequence[Frame], index: DateIndex) -> Frame:
+    columns: dict[str, np.ndarray] = {}
+    for frame in frames:
+        aligned = frame.reindex(index)
+        for name in aligned.columns:
+            if name in columns:
+                raise ValueError(f"duplicate column {name!r} across frames")
+            columns[name] = aligned[name]
+    return Frame(index, columns)
+
+
+def outer_join(*frames: Frame) -> Frame:
+    """Join frames on the union of their date indices (NaN where absent)."""
+    if not frames:
+        raise ValueError("need at least one frame")
+    index = frames[0].index
+    for frame in frames[1:]:
+        index = index.union(frame.index)
+    return _join(frames, index)
+
+
+def inner_join(*frames: Frame) -> Frame:
+    """Join frames on the intersection of their date indices."""
+    if not frames:
+        raise ValueError("need at least one frame")
+    index = frames[0].index
+    for frame in frames[1:]:
+        index = index.intersection(frame.index)
+    return _join(frames, index)
+
+
+def concat_columns(*frames: Frame) -> Frame:
+    """Concatenate columns of frames sharing an identical index."""
+    if not frames:
+        raise ValueError("need at least one frame")
+    index = frames[0].index
+    for frame in frames[1:]:
+        if frame.index != index:
+            raise ValueError("concat_columns requires identical indices")
+    return _join(frames, index)
+
+
+def shift(values: np.ndarray, periods: int) -> np.ndarray:
+    """Shift a series by ``periods`` (positive = move values later), NaN-padding."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.full_like(values, np.nan)
+    if periods == 0:
+        return values.copy()
+    if abs(periods) >= values.size:
+        return out
+    if periods > 0:
+        out[periods:] = values[:-periods]
+    else:
+        out[:periods] = values[-periods:]
+    return out
+
+
+def pct_change(values: np.ndarray, periods: int = 1) -> np.ndarray:
+    """Fractional change over ``periods`` steps; NaN where undefined."""
+    values = np.asarray(values, dtype=np.float64)
+    prev = shift(values, periods)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = (values - prev) / np.abs(prev)
+    out[~np.isfinite(out)] = np.nan
+    return out
+
+
+def log_returns(values: np.ndarray, periods: int = 1) -> np.ndarray:
+    """Log returns over ``periods`` steps; NaN for non-positive prices."""
+    values = np.asarray(values, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logs = np.log(values)
+    logs[~np.isfinite(logs)] = np.nan
+    return logs - shift(logs, periods)
+
+
+def _sliding(values: np.ndarray, window: int) -> np.ndarray:
+    return np.lib.stride_tricks.sliding_window_view(values, window)
+
+
+def rolling_apply(values: np.ndarray, window: int, func) -> np.ndarray:
+    """Apply ``func(axis=-1)``-style reducer over trailing windows.
+
+    The first ``window - 1`` outputs are NaN; a window containing any NaN
+    yields NaN (propagating missingness, as the cleaning phase runs first).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out = np.full(values.size, np.nan)
+    if values.size < window:
+        return out
+    out[window - 1:] = func(_sliding(values, window), -1)
+    return out
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window mean (NaN warm-up; NaNs propagate)."""
+    return rolling_apply(values, window, np.mean)
+
+
+def rolling_std(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window standard deviation."""
+    return rolling_apply(values, window, np.std)
+
+
+def rolling_min(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window minimum."""
+    return rolling_apply(values, window, np.min)
+
+
+def rolling_max(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window maximum."""
+    return rolling_apply(values, window, np.max)
+
+
+def rolling_sum(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window sum."""
+    return rolling_apply(values, window, np.sum)

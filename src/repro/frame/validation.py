@@ -1,0 +1,126 @@
+"""Data-quality validation for frames.
+
+The dataset-assembly pipeline joins many independently-generated (or, in
+a real deployment, independently-collected) sources; this module gives
+it a declarative sanity check: value bounds, missingness limits,
+finiteness, and non-negativity per column pattern, collected into a
+single report instead of failing at the first issue.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .frame import Frame
+
+__all__ = ["ColumnRule", "ValidationIssue", "ValidationReport",
+           "validate_frame"]
+
+
+@dataclass(frozen=True)
+class ColumnRule:
+    """Constraints applied to every column matching a glob pattern."""
+
+    pattern: str
+    """fnmatch-style pattern, e.g. ``"usdc_*"`` or ``"*_Close"``."""
+
+    min_value: float | None = None
+    max_value: float | None = None
+    allow_nan: bool = True
+    max_nan_fraction: float = 1.0
+    require_finite: bool = True
+
+    def matches(self, name: str) -> bool:
+        """True when the column name matches this rule's pattern."""
+        return fnmatch.fnmatch(name, self.pattern)
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated constraint on one column."""
+
+    column: str
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.column}: {self.rule} ({self.detail})"
+
+
+@dataclass
+class ValidationReport:
+    """Everything that failed (empty = frame passed)."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+    n_columns_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no constraint was violated."""
+        return not self.issues
+
+    def raise_if_failed(self):
+        """Raise ``ValueError`` summarising all issues (if any)."""
+        if self.issues:
+            summary = "; ".join(str(issue) for issue in self.issues[:10])
+            more = (f" (+{len(self.issues) - 10} more)"
+                    if len(self.issues) > 10 else "")
+            raise ValueError(
+                f"frame validation failed with {len(self.issues)} "
+                f"issue(s): {summary}{more}"
+            )
+
+
+def validate_frame(frame: Frame, rules: list[ColumnRule]
+                   ) -> ValidationReport:
+    """Check every column of ``frame`` against all matching rules."""
+    report = ValidationReport()
+    for name in frame.columns:
+        col = frame[name]
+        checked = False
+        for rule in rules:
+            if not rule.matches(name):
+                continue
+            checked = True
+            _apply_rule(name, col, rule, report)
+        if checked:
+            report.n_columns_checked += 1
+    return report
+
+
+def _apply_rule(name: str, col: np.ndarray, rule: ColumnRule,
+                report: ValidationReport) -> None:
+    nan_mask = np.isnan(col)
+    valid = col[~nan_mask]
+
+    if not rule.allow_nan and nan_mask.any():
+        report.issues.append(ValidationIssue(
+            name, f"{rule.pattern}:allow_nan",
+            f"{int(nan_mask.sum())} NaN values",
+        ))
+    nan_frac = float(nan_mask.mean()) if col.size else 0.0
+    if nan_frac > rule.max_nan_fraction:
+        report.issues.append(ValidationIssue(
+            name, f"{rule.pattern}:max_nan_fraction",
+            f"{nan_frac:.1%} > {rule.max_nan_fraction:.1%}",
+        ))
+    if rule.require_finite and valid.size and not np.isfinite(valid).all():
+        report.issues.append(ValidationIssue(
+            name, f"{rule.pattern}:require_finite", "inf values present",
+        ))
+        valid = valid[np.isfinite(valid)]
+    if rule.min_value is not None and valid.size \
+            and float(valid.min()) < rule.min_value:
+        report.issues.append(ValidationIssue(
+            name, f"{rule.pattern}:min_value",
+            f"min {valid.min():.6g} < {rule.min_value:.6g}",
+        ))
+    if rule.max_value is not None and valid.size \
+            and float(valid.max()) > rule.max_value:
+        report.issues.append(ValidationIssue(
+            name, f"{rule.pattern}:max_value",
+            f"max {valid.max():.6g} > {rule.max_value:.6g}",
+        ))

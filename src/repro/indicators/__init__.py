@@ -1,0 +1,27 @@
+"""Technical-analysis indicators derived from BTC market data."""
+
+from .momentum import macd, roc, rsi, stochastic_d, stochastic_k
+from .moving import ema, sma, wma
+from .suite import (
+    MA_SPANS,
+    TECHNICAL_VARIABLES,
+    technical_indicator_frame,
+)
+from .volatility import atr, bollinger_bands, rolling_volatility
+
+__all__ = [
+    "MA_SPANS",
+    "TECHNICAL_VARIABLES",
+    "atr",
+    "bollinger_bands",
+    "ema",
+    "macd",
+    "roc",
+    "rolling_volatility",
+    "rsi",
+    "sma",
+    "stochastic_d",
+    "stochastic_k",
+    "technical_indicator_frame",
+    "wma",
+]

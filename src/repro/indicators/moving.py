@@ -1,0 +1,56 @@
+"""Moving averages: SMA, EMA, WMA.
+
+Moving averages are the backbone of the paper's technical-indicator
+category — Tables 3-4 show ``EMA100_market-cap``, ``EMA200_close-price``
+and friends among the top short-term driving factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame.ops import rolling_mean
+
+__all__ = ["sma", "ema", "wma"]
+
+
+def sma(values: np.ndarray, window: int) -> np.ndarray:
+    """Simple moving average over a trailing ``window``; NaN warm-up."""
+    return rolling_mean(values, window)
+
+
+def ema(values: np.ndarray, span: int) -> np.ndarray:
+    """Exponential moving average with smoothing ``alpha = 2/(span+1)``.
+
+    Seeded with the first valid observation (standard convention); outputs
+    before the first observation are NaN. Interior NaNs hold the previous
+    EMA value (the series "coasts" through the gap).
+    """
+    if span < 1:
+        raise ValueError("span must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    alpha = 2.0 / (span + 1.0)
+    out = np.full(values.size, np.nan)
+    state = np.nan
+    for i, x in enumerate(values):
+        if np.isnan(state):
+            state = x if not np.isnan(x) else np.nan
+        elif not np.isnan(x):
+            state = alpha * x + (1.0 - alpha) * state
+        out[i] = state
+    return out
+
+
+def wma(values: np.ndarray, window: int) -> np.ndarray:
+    """Linearly-weighted moving average (most recent weighs ``window``)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    out = np.full(values.size, np.nan)
+    if values.size < window:
+        return out
+    weights = np.arange(1, window + 1, dtype=np.float64)
+    weights /= weights.sum()
+    windows = np.lib.stride_tricks.sliding_window_view(values, window)
+    out[window - 1:] = windows @ weights
+    return out

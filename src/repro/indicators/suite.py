@@ -1,0 +1,100 @@
+"""The paper's technical-indicator block.
+
+§3.1: "Technical indicators were constructed using only BTC historical
+market information". This module derives the full technical category from
+BTC OHLCV + market-cap series, with feature names matching the paper's
+convention visible in Tables 3-4:
+
+* ``EMA{span}_{variable}`` — e.g. ``EMA100_market-cap``
+* ``SMA_{window}_{variable}`` — e.g. ``SMA_20_close-price``
+* plus RSI, MACD, Bollinger, ROC, stochastic and volatility indicators.
+
+Variables covered: ``close-price``, ``market-cap``, ``volume``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame.frame import Frame
+from .momentum import macd, roc, rsi, stochastic_d, stochastic_k
+from .moving import ema, sma
+from .volatility import atr, bollinger_bands, rolling_volatility
+
+__all__ = [
+    "MA_SPANS",
+    "TECHNICAL_VARIABLES",
+    "technical_indicator_frame",
+]
+
+#: Moving-average spans used throughout the paper (Tables 3-4 reference
+#: EMA5..EMA200 and SMA_5..SMA_20).
+MA_SPANS = (5, 10, 14, 20, 30, 100, 200)
+SMA_WINDOWS = (5, 10, 20, 50, 100, 200)
+
+#: The BTC market variables from which the block is derived.
+TECHNICAL_VARIABLES = ("close-price", "market-cap", "volume")
+
+
+def technical_indicator_frame(btc: Frame) -> Frame:
+    """Derive the technical-indicator category from a BTC market frame.
+
+    Parameters
+    ----------
+    btc:
+        Frame with columns ``open``, ``high``, ``low``, ``close``,
+        ``volume`` and ``market_cap`` on a daily index.
+
+    Returns
+    -------
+    Frame
+        One column per indicator, aligned to ``btc.index``. Long-span
+        indicators carry NaN warm-up periods, which the dataset cleaning
+        phase handles downstream.
+    """
+    required = {"open", "high", "low", "close", "volume", "market_cap"}
+    missing = required - set(btc.columns)
+    if missing:
+        raise ValueError(f"BTC frame is missing columns: {sorted(missing)}")
+
+    sources = {
+        "close-price": btc["close"],
+        "market-cap": btc["market_cap"],
+        "volume": btc["volume"],
+    }
+    columns: dict[str, np.ndarray] = {}
+
+    for var_name, series in sources.items():
+        for span in MA_SPANS:
+            columns[f"EMA{span}_{var_name}"] = ema(series, span)
+        for window in SMA_WINDOWS:
+            columns[f"SMA_{window}_{var_name}"] = sma(series, window)
+
+    close = btc["close"]
+    columns["RSI14_close-price"] = rsi(close, 14)
+    columns["RSI30_close-price"] = rsi(close, 30)
+    macd_line, signal_line, histogram = macd(close)
+    columns["MACD_close-price"] = macd_line
+    columns["MACDsignal_close-price"] = signal_line
+    columns["MACDhist_close-price"] = histogram
+    middle, upper, lower = bollinger_bands(close, 20)
+    columns["BBmid20_close-price"] = middle
+    columns["BBup20_close-price"] = upper
+    columns["BBlow20_close-price"] = lower
+    with np.errstate(divide="ignore", invalid="ignore"):
+        width = (upper - lower) / middle
+    width[~np.isfinite(width)] = np.nan
+    columns["BBwidth20_close-price"] = width
+    columns["ROC10_close-price"] = roc(close, 10)
+    columns["ROC30_close-price"] = roc(close, 30)
+    columns["StochK14_close-price"] = stochastic_k(
+        close, btc["high"], btc["low"], 14
+    )
+    columns["StochD14_close-price"] = stochastic_d(
+        close, btc["high"], btc["low"], 14
+    )
+    columns["ATR14_close-price"] = atr(btc["high"], btc["low"], close, 14)
+    columns["Volatility30_close-price"] = rolling_volatility(close, 30)
+    columns["Volatility90_close-price"] = rolling_volatility(close, 90)
+
+    return Frame(btc.index, columns)

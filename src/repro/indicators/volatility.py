@@ -1,0 +1,60 @@
+"""Volatility indicators: Bollinger bands, ATR, rolling volatility."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame.ops import log_returns, rolling_mean, rolling_std, shift
+
+__all__ = ["bollinger_bands", "atr", "rolling_volatility"]
+
+
+def bollinger_bands(
+    values: np.ndarray, window: int = 20, n_std: float = 2.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(middle, upper, lower) Bollinger bands around an SMA."""
+    if n_std <= 0:
+        raise ValueError("n_std must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    middle = rolling_mean(values, window)
+    spread = n_std * rolling_std(values, window)
+    return middle, middle + spread, middle - spread
+
+
+def atr(
+    high: np.ndarray,
+    low: np.ndarray,
+    close: np.ndarray,
+    window: int = 14,
+) -> np.ndarray:
+    """Average True Range over ``window`` days.
+
+    True range = max(high - low, |high - prev_close|, |low - prev_close|);
+    the first observation uses high - low alone.
+    """
+    high = np.asarray(high, dtype=np.float64)
+    low = np.asarray(low, dtype=np.float64)
+    close = np.asarray(close, dtype=np.float64)
+    prev_close = shift(close, 1)
+    hl = high - low
+    hc = np.abs(high - prev_close)
+    lc = np.abs(low - prev_close)
+    true_range = np.fmax(hl, np.fmax(hc, lc))  # fmax ignores NaN operands
+    if true_range.size:
+        true_range[0] = hl[0]
+    return rolling_mean(true_range, window)
+
+
+def rolling_volatility(
+    prices: np.ndarray, window: int = 30, annualise: bool = True
+) -> np.ndarray:
+    """Trailing standard deviation of daily log returns.
+
+    Crypto markets trade every day, so annualisation uses sqrt(365)
+    rather than the equity convention of sqrt(252).
+    """
+    returns = log_returns(np.asarray(prices, dtype=np.float64))
+    vol = rolling_std(returns, window)
+    if annualise:
+        vol = vol * np.sqrt(365.0)
+    return vol

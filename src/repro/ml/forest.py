@@ -1,0 +1,137 @@
+"""Random forest regression built on :mod:`repro.ml.tree`.
+
+Random forests are one of the paper's two model families (§3.2): they are
+fine-tuned with 5-fold cross-validation grid search, provide MDI feature
+importances for the Feature Reduction Algorithm, and measure the
+performance-improvement results of §4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of CART trees with per-node feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf, max_features,
+    min_impurity_decrease:
+        Passed through to every :class:`DecisionTreeRegressor`. The default
+        ``max_features=1.0`` (all features) matches sklearn's regression
+        default; ``"sqrt"`` gives classic decorrelated forests.
+    bootstrap:
+        Draw each tree's training set with replacement (size ``n``).
+    random_state:
+        Seed controlling bootstrap draws and per-node feature subsets.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=1.0,
+        min_impurity_decrease: float = 0.0,
+        bootstrap: bool = True,
+        random_state=None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeRegressor] = []
+        self.n_features_in_: int | None = None
+
+    # ------------------------------------------------------------------
+    def get_params(self) -> dict:
+        """Constructor parameters (the clone/grid-search protocol)."""
+        return {
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "min_impurity_decrease": self.min_impurity_decrease,
+            "bootstrap": self.bootstrap,
+            "random_state": self.random_state,
+        }
+
+    def set_params(self, **params) -> "RandomForestRegressor":
+        """Update constructor parameters in place; returns self."""
+        for key, value in params.items():
+            if not hasattr(self, key):
+                raise ValueError(f"unknown parameter {key!r}")
+            setattr(self, key, value)
+        return self
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "RandomForestRegressor":
+        """Fit the estimator on (X, y); returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.size:
+            raise ValueError("X and y have inconsistent lengths")
+        n_samples = X.shape[0]
+        self.n_features_in_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                min_impurity_decrease=self.min_impurity_decrease,
+                random_state=rng.integers(0, 2**32 - 1),
+            )
+            if self.bootstrap:
+                sample = rng.integers(0, n_samples, size=n_samples)
+                tree.fit(X[sample], y[sample])
+            else:
+                tree.fit(X, y)
+            self.estimators_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Mean prediction across all trees."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_in_} features"
+            )
+        out = np.zeros(X.shape[0], dtype=np.float64)
+        for tree in self.estimators_:
+            out += tree.tree_.predict(X)
+        return out / len(self.estimators_)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """MDI importances averaged over trees and normalised to sum 1."""
+        self._check_fitted()
+        acc = np.zeros(self.n_features_in_, dtype=np.float64)
+        for tree in self.estimators_:
+            acc += tree.feature_importances_
+        total = acc.sum()
+        return acc / total if total > 0 else acc
+
+    def _check_fitted(self):
+        if not self.estimators_:
+            raise RuntimeError("estimator is not fitted; call fit() first")

@@ -1,0 +1,111 @@
+"""Feature scaling transformers.
+
+Tree ensembles (the paper's model families) are scale-invariant, but the
+linear baselines and several examples standardise inputs; the transformers
+here follow the familiar fit/transform protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class _FittedMixin:
+    def _check_fitted(self):
+        if not getattr(self, "_fitted", False):
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+    @staticmethod
+    def _as_matrix(X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        return X
+
+
+class StandardScaler(_FittedMixin):
+    """Standardise features to zero mean and unit variance.
+
+    Constant columns (zero variance) are centred but left unscaled, so
+    transforming never divides by zero.
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self._fitted = False
+
+    def fit(self, X) -> "StandardScaler":
+        """Fit the estimator on (X, y); returns self."""
+        X = self._as_matrix(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted transformation to X."""
+        self._check_fitted()
+        X = self._as_matrix(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit to X, then return the transformed X."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Map transformed values back to original units."""
+        self._check_fitted()
+        X = self._as_matrix(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(_FittedMixin):
+    """Scale features linearly into ``feature_range`` (default [0, 1]).
+
+    Constant columns map to the lower bound of the range.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if not hi > lo:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = (float(lo), float(hi))
+        self.min_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self._fitted = False
+
+    def fit(self, X) -> "MinMaxScaler":
+        """Fit the estimator on (X, y); returns self."""
+        X = self._as_matrix(X)
+        data_min = X.min(axis=0)
+        data_max = X.max(axis=0)
+        span = data_max - data_min
+        span[span == 0.0] = 1.0
+        lo, hi = self.feature_range
+        self.scale_ = (hi - lo) / span
+        self.min_ = lo - data_min * self.scale_
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted transformation to X."""
+        self._check_fitted()
+        X = self._as_matrix(X)
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit to X, then return the transformed X."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Map transformed values back to original units."""
+        self._check_fitted()
+        X = self._as_matrix(X)
+        return (X - self.min_) / self.scale_

@@ -1,0 +1,394 @@
+"""CART regression trees with a vectorised best-split search.
+
+This is the foundation of the model substrate: both
+:class:`~repro.ml.forest.RandomForestRegressor` and
+:class:`~repro.ml.boosting.GradientBoostingRegressor` grow these trees.
+
+Split quality uses the regularised-gain form
+
+    gain(split) = G_L^2 / (n_L + lambda) + G_R^2 / (n_R + lambda)
+                  - G_T^2 / (n_T + lambda)
+
+where ``G`` is the sum of targets in a partition and ``n`` its size. With
+``reg_lambda = 0`` this is *exactly* the classic CART variance-reduction
+criterion (the SSE decrease); with ``reg_lambda > 0`` it is the XGBoost
+split gain for squared loss (unit hessians), which is how the boosting
+module obtains Newton-style regularised trees from the same code path.
+Leaf predictions are correspondingly ``G / (n + lambda)``.
+
+The per-node search is fully vectorised: all candidate features are sorted
+at once and every split position is scored with prefix sums, so growing a
+node costs ``O(n log n * n_features)`` numpy work with no Python-level
+loops over samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor", "TreeStructure"]
+
+_LEAF = -1
+
+
+@dataclass
+class TreeStructure:
+    """Flat array encoding of a fitted binary regression tree.
+
+    Attributes mirror sklearn's ``tree_`` object so downstream consumers
+    (prediction, MDI, TreeSHAP) can work off plain arrays:
+
+    * ``children_left`` / ``children_right`` — child node ids, -1 at leaves.
+    * ``feature`` — split feature per node, -1 at leaves.
+    * ``threshold`` — split threshold per node (``x <= t`` goes left).
+    * ``value`` — prediction per node (leaf values are used for output;
+      internal values are the regularised node means, used by SHAP).
+    * ``n_node_samples`` — training rows routed through each node.
+    * ``impurity`` — node variance (MSE around the node mean).
+    """
+
+    children_left: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    children_right: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    feature: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    threshold: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64))
+    value: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64))
+    n_node_samples: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64))
+    impurity: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64))
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        return int(self.children_left.size)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return int(np.sum(self.children_left == _LEAF))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root alone = depth 0)."""
+        depth = np.zeros(self.node_count, dtype=np.int64)
+        for node in range(self.node_count):
+            left, right = self.children_left[node], self.children_right[node]
+            if left != _LEAF:
+                depth[left] = depth[node] + 1
+                depth[right] = depth[node] + 1
+        return int(depth.max()) if self.node_count else 0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Route every row of ``X`` to its leaf and return leaf values."""
+        leaf = self.apply(X)
+        return self.value[leaf]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id reached by every row of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.children_left[nodes] != _LEAF
+        while active.any():
+            cur = nodes[active]
+            go_left = (
+                X[active, self.feature[cur]] <= self.threshold[cur]
+            )
+            nodes[active] = np.where(
+                go_left, self.children_left[cur], self.children_right[cur]
+            )
+            active = self.children_left[nodes] != _LEAF
+        return nodes
+
+    def mdi_importances(self, n_features: int) -> np.ndarray:
+        """Unnormalised Mean-Decrease-in-Impurity per feature.
+
+        Sums, over every internal node splitting on a feature, the weighted
+        impurity decrease ``n*I - n_L*I_L - n_R*I_R`` (weights in sample
+        counts). Callers normalise across trees.
+        """
+        out = np.zeros(n_features, dtype=np.float64)
+        for node in range(self.node_count):
+            left = self.children_left[node]
+            if left == _LEAF:
+                continue
+            right = self.children_right[node]
+            decrease = (
+                self.n_node_samples[node] * self.impurity[node]
+                - self.n_node_samples[left] * self.impurity[left]
+                - self.n_node_samples[right] * self.impurity[right]
+            )
+            out[self.feature[node]] += max(decrease, 0.0)
+        return out
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    """Translate a ``max_features`` spec into a concrete column count."""
+    if max_features is None or max_features == 1.0:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(math.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(math.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("float max_features must be in (0, 1]")
+        return max(1, int(max_features * n_features))
+    if isinstance(max_features, int):
+        if max_features < 1:
+            raise ValueError("int max_features must be >= 1")
+        return min(max_features, n_features)
+    raise ValueError(f"unsupported max_features spec: {max_features!r}")
+
+
+class DecisionTreeRegressor:
+    """Binary regression tree grown by greedy regularised-gain splitting.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0); ``None`` for unlimited.
+    min_samples_split:
+        Minimum samples a node needs to be considered for splitting.
+    min_samples_leaf:
+        Minimum samples each child must retain.
+    max_features:
+        Features examined per split: ``None``/1.0 (all), ``"sqrt"``,
+        ``"log2"``, an int count, or a float fraction. When fewer than all
+        features are examined the subset is drawn fresh at every node
+        (random-forest style decorrelation).
+    min_impurity_decrease:
+        Minimum per-sample SSE decrease required to accept a split.
+    reg_lambda:
+        L2 leaf regularisation (XGBoost's lambda). Zero recovers CART.
+    random_state:
+        Seed (or ``numpy.random.Generator``) for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        min_impurity_decrease: float = 0.0,
+        reg_lambda: float = 0.0,
+        random_state=None,
+    ):
+        if max_depth is not None and max_depth < 0:
+            raise ValueError("max_depth must be >= 0 or None")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if min_impurity_decrease < 0:
+            raise ValueError("min_impurity_decrease must be >= 0")
+        if reg_lambda < 0:
+            raise ValueError("reg_lambda must be >= 0")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.reg_lambda = reg_lambda
+        self.random_state = random_state
+        self.tree_: TreeStructure | None = None
+        self.n_features_in_: int | None = None
+
+    # ------------------------------------------------------------------
+    def get_params(self) -> dict:
+        """Constructor parameters (grid-search / cloning protocol)."""
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "min_impurity_decrease": self.min_impurity_decrease,
+            "reg_lambda": self.reg_lambda,
+            "random_state": self.random_state,
+        }
+
+    def set_params(self, **params) -> "DecisionTreeRegressor":
+        """Update constructor parameters in place; returns self."""
+        for key, value in params.items():
+            if not hasattr(self, key):
+                raise ValueError(f"unknown parameter {key!r}")
+            setattr(self, key, value)
+        return self
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        """Fit the estimator on (X, y); returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.size:
+            raise ValueError("X and y have inconsistent lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if np.isnan(X).any() or np.isnan(y).any():
+            raise ValueError("training data must be NaN-free")
+        n_samples, n_features = X.shape
+        self.n_features_in_ = n_features
+        rng = np.random.default_rng(self.random_state)
+        k_features = _resolve_max_features(self.max_features, n_features)
+
+        lam = float(self.reg_lambda)
+
+        children_left: list[int] = []
+        children_right: list[int] = []
+        feature: list[int] = []
+        threshold: list[float] = []
+        value: list[float] = []
+        n_node: list[int] = []
+        impurity: list[float] = []
+
+        def new_node(idx: np.ndarray) -> int:
+            node_id = len(value)
+            y_node = y[idx]
+            total = float(y_node.sum())
+            n = idx.size
+            children_left.append(_LEAF)
+            children_right.append(_LEAF)
+            feature.append(_LEAF)
+            threshold.append(np.nan)
+            value.append(total / (n + lam))
+            n_node.append(n)
+            impurity.append(float(np.mean((y_node - total / n) ** 2)))
+            return node_id
+
+        # Depth-first growth with an explicit stack of (node_id, idx, depth).
+        root = new_node(np.arange(n_samples))
+        stack: list[tuple[int, np.ndarray, int]] = [
+            (root, np.arange(n_samples), 0)
+        ]
+        while stack:
+            node_id, idx, depth = stack.pop()
+            n = idx.size
+            if (
+                n < self.min_samples_split
+                or n < 2 * self.min_samples_leaf
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or impurity[node_id] == 0.0
+            ):
+                continue
+
+            if k_features < n_features:
+                feats = rng.choice(n_features, size=k_features, replace=False)
+            else:
+                feats = np.arange(n_features)
+
+            best = self._best_split(X, y, idx, feats, lam)
+            if best is None:
+                continue
+            gain, feat, thr, left_mask = best
+            if gain / n_samples < self.min_impurity_decrease:
+                continue
+
+            left_idx = idx[left_mask]
+            right_idx = idx[~left_mask]
+            left_id = new_node(left_idx)
+            right_id = new_node(right_idx)
+            children_left[node_id] = left_id
+            children_right[node_id] = right_id
+            feature[node_id] = int(feat)
+            threshold[node_id] = float(thr)
+            stack.append((left_id, left_idx, depth + 1))
+            stack.append((right_id, right_idx, depth + 1))
+
+        self.tree_ = TreeStructure(
+            children_left=np.asarray(children_left, dtype=np.int64),
+            children_right=np.asarray(children_right, dtype=np.int64),
+            feature=np.asarray(feature, dtype=np.int64),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            value=np.asarray(value, dtype=np.float64),
+            n_node_samples=np.asarray(n_node, dtype=np.int64),
+            impurity=np.asarray(impurity, dtype=np.float64),
+        )
+        return self
+
+    def _best_split(self, X, y, idx, feats, lam):
+        """Vectorised search over all (feature, position) candidates.
+
+        Returns ``(gain, feature, threshold, left_mask)`` for the best
+        valid split, or ``None`` when no candidate satisfies the
+        ``min_samples_leaf`` and strict-ordering constraints.
+        """
+        n = idx.size
+        Xs = X[np.ix_(idx, feats)]                     # (n, f)
+        order = np.argsort(Xs, axis=0, kind="stable")  # (n, f)
+        sorted_x = np.take_along_axis(Xs, order, axis=0)
+        sorted_y = y[idx][order]                       # (n, f)
+
+        cum = np.cumsum(sorted_y, axis=0)              # prefix target sums
+        total = cum[-1, :]                             # (f,)
+
+        # Candidate split after position i: left = [0..i], right = [i+1..].
+        counts_left = np.arange(1, n, dtype=np.float64)[:, None]
+        counts_right = n - counts_left
+        sum_left = cum[:-1, :]
+        sum_right = total[None, :] - sum_left
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gain = (
+                sum_left**2 / (counts_left + lam)
+                + sum_right**2 / (counts_right + lam)
+                - total[None, :] ** 2 / (n + lam)
+            )
+
+        # Invalid where equal adjacent values (can't separate) or leaf-size
+        # constraints would be violated.
+        valid = sorted_x[:-1, :] < sorted_x[1:, :]
+        msl = self.min_samples_leaf
+        if msl > 1:
+            pos = np.arange(1, n)[:, None]
+            valid &= (pos >= msl) & ((n - pos) >= msl)
+        gain = np.where(valid, gain, -np.inf)
+
+        flat = int(np.argmax(gain))
+        best_gain = gain.ravel()[flat]
+        if not np.isfinite(best_gain) or best_gain <= 0.0:
+            return None
+        row, col = np.unravel_index(flat, gain.shape)
+        thr = 0.5 * (sorted_x[row, col] + sorted_x[row + 1, col])
+        # Guard against midpoint rounding onto the upper value.
+        if thr >= sorted_x[row + 1, col]:
+            thr = sorted_x[row, col]
+        left_mask = Xs[:, col] <= thr
+        return float(best_gain), int(feats[col]), float(thr), left_mask
+
+    # ------------------------------------------------------------------
+    def predict(self, X) -> np.ndarray:
+        """Predict targets for every row of X."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_in_} features"
+            )
+        return self.tree_.predict(X)
+
+    def apply(self, X) -> np.ndarray:
+        """Leaf index reached by each row."""
+        self._check_fitted()
+        return self.tree_.apply(np.asarray(X, dtype=np.float64))
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Normalised MDI importances (sum to 1; zeros if no splits)."""
+        self._check_fitted()
+        raw = self.tree_.mdi_importances(self.n_features_in_)
+        total = raw.sum()
+        return raw / total if total > 0 else raw
+
+    def _check_fitted(self):
+        if self.tree_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")

@@ -1,0 +1,41 @@
+"""Portfolio construction over the simulated universe (§5 future work:
+"novel portfolio optimization techniques ... resilient to the highly
+dynamic and uncertain nature of this market").
+
+Pieces:
+
+* covariance estimators (sample / EWMA / shrinkage),
+* long-only optimizers (min-variance, max-Sharpe, risk parity) plus the
+  1/N and cap-weight baselines,
+* a rolling rebalancing simulator tying them to a price panel.
+"""
+
+from .covariance import (
+    ewma_covariance,
+    sample_covariance,
+    shrinkage_covariance,
+)
+from .optimizers import (
+    cap_weights,
+    equal_weights,
+    max_sharpe_weights,
+    min_variance_weights,
+    project_to_simplex,
+    risk_parity_weights,
+)
+from .rebalance import PortfolioRun, RebalanceConfig, simulate_portfolio
+
+__all__ = [
+    "PortfolioRun",
+    "RebalanceConfig",
+    "cap_weights",
+    "equal_weights",
+    "ewma_covariance",
+    "max_sharpe_weights",
+    "min_variance_weights",
+    "project_to_simplex",
+    "risk_parity_weights",
+    "sample_covariance",
+    "shrinkage_covariance",
+    "simulate_portfolio",
+]

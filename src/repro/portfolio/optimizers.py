@@ -1,0 +1,144 @@
+"""Long-only portfolio optimizers.
+
+All optimizers return weight vectors on the simplex (non-negative,
+summing to 1) — the practical constraint set for a spot crypto
+portfolio. Solvers are self-contained (projected gradient descent and
+fixed-point iterations); no external optimisation library is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "project_to_simplex",
+    "min_variance_weights",
+    "max_sharpe_weights",
+    "risk_parity_weights",
+    "equal_weights",
+    "cap_weights",
+]
+
+
+def _validate_cov(cov) -> np.ndarray:
+    cov = np.asarray(cov, dtype=np.float64)
+    if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+        raise ValueError("covariance must be square")
+    if not np.allclose(cov, cov.T, atol=1e-8):
+        raise ValueError("covariance must be symmetric")
+    return cov
+
+
+def project_to_simplex(v) -> np.ndarray:
+    """Euclidean projection onto {w : w >= 0, sum w = 1}.
+
+    The classic sorting algorithm (Held et al. / Duchi et al.).
+    """
+    v = np.asarray(v, dtype=np.float64).ravel()
+    if v.size == 0:
+        raise ValueError("cannot project an empty vector")
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u)
+    rho_candidates = u - (css - 1.0) / np.arange(1, v.size + 1)
+    rho = int(np.nonzero(rho_candidates > 0)[0][-1])
+    theta = (css[rho] - 1.0) / (rho + 1)
+    return np.maximum(v - theta, 0.0)
+
+
+def equal_weights(n_assets: int) -> np.ndarray:
+    """1/N — the hard-to-beat naive baseline."""
+    if n_assets < 1:
+        raise ValueError("n_assets must be >= 1")
+    return np.full(n_assets, 1.0 / n_assets)
+
+
+def cap_weights(market_caps) -> np.ndarray:
+    """Capitalisation weighting (the Crypto100 index's implicit scheme)."""
+    caps = np.asarray(market_caps, dtype=np.float64).ravel()
+    if caps.size == 0:
+        raise ValueError("need at least one asset")
+    if (caps <= 0).any():
+        raise ValueError("market caps must be positive")
+    return caps / caps.sum()
+
+
+def min_variance_weights(cov, n_iter: int = 500,
+                         step: float | None = None) -> np.ndarray:
+    """Long-only minimum-variance portfolio via projected gradient.
+
+    Minimises ``w' C w`` over the simplex. The step size defaults to
+    ``1 / (2 * largest eigenvalue)``, guaranteeing descent.
+    """
+    cov = _validate_cov(cov)
+    p = cov.shape[0]
+    if step is None:
+        lam_max = float(np.linalg.eigvalsh(cov)[-1])
+        step = 1.0 / (2.0 * lam_max) if lam_max > 0 else 1.0
+    w = equal_weights(p)
+    for _ in range(n_iter):
+        grad = 2.0 * cov @ w
+        w = project_to_simplex(w - step * grad)
+    return w
+
+
+def max_sharpe_weights(expected_returns, cov, risk_free: float = 0.0,
+                       n_iter: int = 1000) -> np.ndarray:
+    """Long-only maximum-Sharpe portfolio via projected gradient ascent.
+
+    Maximises ``(w'mu - rf) / sqrt(w'Cw)`` on the simplex with a
+    normalised-gradient step schedule. Falls back to the single best
+    asset when no asset beats the risk-free rate (the tangency portfolio
+    is undefined there).
+    """
+    mu = np.asarray(expected_returns, dtype=np.float64).ravel()
+    cov = _validate_cov(cov)
+    if mu.size != cov.shape[0]:
+        raise ValueError("expected_returns and covariance disagree")
+    excess = mu - risk_free
+    if (excess <= 0).all():
+        w = np.zeros(mu.size)
+        w[int(np.argmax(excess))] = 1.0
+        return w
+
+    w = equal_weights(mu.size)
+    for k in range(n_iter):
+        var = float(w @ cov @ w)
+        sigma = np.sqrt(max(var, 1e-18))
+        ret = float(w @ excess)
+        grad = excess / sigma - ret * (cov @ w) / sigma**3
+        norm = float(np.linalg.norm(grad))
+        if norm < 1e-12:
+            break
+        step = 0.5 / (1.0 + 0.05 * k)
+        w = project_to_simplex(w + step * grad / norm)
+    return w
+
+
+def risk_parity_weights(cov, n_iter: int = 500,
+                        tol: float = 1e-10) -> np.ndarray:
+    """Equal-risk-contribution portfolio by multiplicative iteration.
+
+    At the solution every asset contributes the same share of total
+    portfolio variance: ``w_i (C w)_i = const``. Uses the classic
+    fixed-point update ``w_i <- w_i * target / RC_i`` with
+    renormalisation, which converges for positive-definite C.
+    """
+    cov = _validate_cov(cov)
+    diag = np.diag(cov)
+    if (diag <= 0).any():
+        raise ValueError("covariance diagonal must be positive")
+    p = cov.shape[0]
+    w = (1.0 / np.sqrt(diag))
+    w /= w.sum()
+    for _ in range(n_iter):
+        marginal = cov @ w
+        contributions = w * marginal
+        total = contributions.sum()
+        target = total / p
+        update = w * np.sqrt(target / np.maximum(contributions, 1e-18))
+        update /= update.sum()
+        if float(np.abs(update - w).max()) < tol:
+            w = update
+            break
+        w = update
+    return w

@@ -1,0 +1,52 @@
+"""Time-series diagnostics: autocorrelation and whiteness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = ["acf", "ljung_box"]
+
+
+def acf(values, max_lag: int = 20) -> np.ndarray:
+    """Sample autocorrelation function at lags ``0..max_lag``.
+
+    Uses the standard biased estimator (normalising by ``n`` and the
+    lag-0 autocovariance), which guarantees values in ``[-1, 1]``.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    n = values.size
+    if n < 2:
+        raise ValueError("need at least two observations")
+    if not 0 <= max_lag < n:
+        raise ValueError("max_lag must be in [0, len(values) - 1]")
+    centered = values - values.mean()
+    gamma0 = float(centered @ centered) / n
+    if gamma0 == 0.0:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    out = np.empty(max_lag + 1)
+    out[0] = 1.0
+    for lag in range(1, max_lag + 1):
+        out[lag] = (float(centered[lag:] @ centered[:-lag]) / n) / gamma0
+    return out
+
+
+def ljung_box(values, lags: int = 10) -> tuple[float, float]:
+    """Ljung-Box portmanteau test for autocorrelation.
+
+    Returns ``(Q statistic, p-value)``; small p-values reject the null
+    of white noise. Used by the simulator-validation tests to confirm
+    that market *returns* are nearly white while *levels* are not.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    n = values.size
+    if lags < 1:
+        raise ValueError("lags must be >= 1")
+    if n <= lags + 1:
+        raise ValueError("series too short for the requested lags")
+    rho = acf(values, lags)[1:]
+    q = n * (n + 2) * np.sum(rho**2 / (n - np.arange(1, lags + 1)))
+    p = float(_scipy_stats.chi2.sf(q, df=lags))
+    return float(q), p

@@ -1,0 +1,102 @@
+"""Hypothesis tests for comparing forecasts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = ["DMResult", "diebold_mariano"]
+
+
+@dataclass(frozen=True)
+class DMResult:
+    """Outcome of a Diebold-Mariano test.
+
+    ``statistic`` is asymptotically standard normal under the null of
+    equal predictive accuracy; negative values mean forecast 1 has the
+    *smaller* loss. ``p_value`` is two-sided by default.
+    """
+
+    statistic: float
+    p_value: float
+    mean_loss_diff: float
+    horizon: int
+
+    @property
+    def favors_first(self) -> bool:
+        """True when forecast 1's loss is lower on average."""
+        return self.mean_loss_diff < 0
+
+
+def diebold_mariano(
+    y_true,
+    pred1,
+    pred2,
+    horizon: int = 1,
+    loss: str = "squared",
+    alternative: str = "two-sided",
+) -> DMResult:
+    """Diebold-Mariano test of equal predictive accuracy.
+
+    Parameters
+    ----------
+    y_true, pred1, pred2:
+        Realisations and the two competing forecast series.
+    horizon:
+        Forecast horizon ``h``; the loss-differential variance uses a
+        rectangular HAC window of ``h - 1`` autocovariances (the classic
+        DM recipe, since h-step-ahead errors are MA(h-1) under the null).
+    loss:
+        ``"squared"`` or ``"absolute"`` error loss.
+    alternative:
+        ``"two-sided"``, ``"less"`` (forecast 1 better), or ``"greater"``.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    pred1 = np.asarray(pred1, dtype=np.float64).ravel()
+    pred2 = np.asarray(pred2, dtype=np.float64).ravel()
+    if not (y_true.size == pred1.size == pred2.size):
+        raise ValueError("all inputs must have equal length")
+    n = y_true.size
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    if n <= 2 * horizon:
+        raise ValueError("series too short for the given horizon")
+    if alternative not in ("two-sided", "less", "greater"):
+        raise ValueError(f"unknown alternative {alternative!r}")
+
+    e1 = y_true - pred1
+    e2 = y_true - pred2
+    if loss == "squared":
+        d = e1**2 - e2**2
+    elif loss == "absolute":
+        d = np.abs(e1) - np.abs(e2)
+    else:
+        raise ValueError(f"unknown loss {loss!r}")
+
+    d_mean = float(d.mean())
+    d_centered = d - d_mean
+    # HAC variance with rectangular window of h-1 lags.
+    gamma0 = float(d_centered @ d_centered) / n
+    variance = gamma0
+    for lag in range(1, horizon):
+        cov = float(d_centered[lag:] @ d_centered[:-lag]) / n
+        variance += 2.0 * cov
+    if variance <= 0:
+        # Degenerate (identical forecasts or pathological HAC estimate):
+        # no evidence against the null.
+        return DMResult(statistic=0.0, p_value=1.0,
+                        mean_loss_diff=d_mean, horizon=horizon)
+    statistic = d_mean / np.sqrt(variance / n)
+
+    if alternative == "two-sided":
+        p_value = 2.0 * float(_scipy_stats.norm.sf(abs(statistic)))
+    elif alternative == "less":
+        p_value = float(_scipy_stats.norm.cdf(statistic))
+    elif alternative == "greater":
+        p_value = float(_scipy_stats.norm.sf(statistic))
+    else:
+        raise ValueError(f"unknown alternative {alternative!r}")
+    return DMResult(statistic=float(statistic), p_value=p_value,
+                    mean_loss_diff=d_mean, horizon=horizon)

@@ -1,0 +1,95 @@
+"""Simulation configuration.
+
+The defaults reproduce the paper's data-collection setup: daily data from
+January 2017 (with a 2016 warm-up so long technical indicators have no
+NaN head) through June 2023, a 120-asset universe for the top-100 index,
+and late starts for the series the paper singles out (USDC metrics and the
+fear-and-greed index only exist from late 2018 / early 2018).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for the synthetic market generator.
+
+    The coupling coefficients encode which latent driver is visible at
+    which horizon — the property the paper's experiments measure:
+
+    * ``momentum_coupling`` / ``sentiment_coupling`` act on next-day
+      returns (short-horizon signal — technical & sentiment categories);
+    * ``flow_coupling`` acts via a trailing window of stablecoin flows
+      (medium/long-horizon signal — the USDC on-chain category);
+    * ``macro_coupling`` acts with ``macro_lag`` days of delay (long-
+      horizon signal — macro & traditional-market categories);
+    * ``adoption`` drives the fundamental value the price reverts to
+      (the long-run anchor on-chain supply/balance metrics encode).
+    """
+
+    start: str = "2016-01-01"
+    """First simulated day (warm-up before the paper's 2017 window)."""
+
+    end: str = "2023-06-30"
+    """Last simulated day (the paper's collection period ends June 2023)."""
+
+    seed: int = 20240701
+    """Master seed; every component derives its own stream from it."""
+
+    n_assets: int = 120
+    """Universe size; the Crypto100 index tracks the top 100 by cap."""
+
+    usdc_start: str = "2018-10-01"
+    """First day USDC on-chain metrics exist (token launched late 2018)."""
+
+    fear_greed_start: str = "2018-02-01"
+    """First day of the fear-and-greed index."""
+
+    include_eth: bool = False
+    """Also generate ETH on-chain metrics (the paper's §5 on-chain
+    diversification future work). Off by default to match the paper's
+    BTC + USDC setup."""
+
+    # ----- return-generating couplings ---------------------------------
+    momentum_coupling: float = 0.030
+    """Weight of the trailing 5-day market return in next-day drift."""
+
+    sentiment_coupling: float = 0.0022
+    """Weight of yesterday's sentiment level in next-day drift."""
+
+    flow_coupling: float = 0.006
+    """Weight of trailing 30-day stablecoin net inflows in daily drift."""
+
+    macro_coupling: float = 0.0012
+    """Weight of the lagged macro factor in daily drift."""
+
+    macro_lag: int = 75
+    """Days before a macro-factor move reaches crypto returns."""
+
+    reversion_speed: float = 0.005
+    """Daily pull of log price toward the adoption-implied fair value."""
+
+    # ----- noise levels -------------------------------------------------
+    onchain_noise: float = 0.02
+    """Relative observation noise on on-chain metrics."""
+
+    sentiment_noise: float = 0.55
+    """Observation noise on sentiment metrics (high, as in reality)."""
+
+    tradfi_noise: float = 0.006
+    """Daily idiosyncratic vol of traditional indices."""
+
+    extra_columns: dict = field(default_factory=dict)
+    """Reserved for forward-compatible extensions."""
+
+    def __post_init__(self):
+        if self.n_assets < 101:
+            raise ValueError(
+                "need more than 100 assets so the top-100 cut is meaningful"
+            )
+        if self.macro_lag < 0:
+            raise ValueError("macro_lag must be >= 0")

@@ -1,0 +1,115 @@
+"""Assembly of the full raw dataset (the paper's ~429-metric collection).
+
+``generate_raw_dataset`` runs every generator, joins all categories onto
+one daily calendar, and records the category of every column — the input
+the cleaning/scenario pipeline (:mod:`repro.core`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..categories import DataCategory
+from ..frame.frame import Frame
+from ..frame.ops import concat_columns
+from ..indicators.suite import technical_indicator_frame
+from .config import SimulationConfig
+from .latent import LatentMarket, generate_latent_market
+from .macro import generate_macro
+from .market import MarketUniverse, generate_universe
+from .onchain import (
+    generate_btc_onchain,
+    generate_eth_onchain,
+    generate_usdc_onchain,
+)
+from .sentiment import generate_sentiment
+from .tradfi import generate_tradfi
+
+__all__ = ["RawDataset", "generate_raw_dataset"]
+
+
+@dataclass(frozen=True)
+class RawDataset:
+    """Everything the experiments need, produced by one simulator run.
+
+    Attributes
+    ----------
+    config:
+        The simulation configuration used.
+    latent:
+        The latent market state (ground truth, never shown to models).
+    universe:
+        Asset caps + BTC market data (source of the Crypto100 target).
+    features:
+        All candidate metrics joined on the simulation calendar.
+    categories:
+        Column name → :class:`DataCategory` for every feature column.
+    """
+
+    config: SimulationConfig
+    latent: LatentMarket
+    universe: MarketUniverse
+    features: Frame
+    categories: dict[str, DataCategory] = field(repr=False)
+
+    @property
+    def n_metrics(self) -> int:
+        """Number of candidate metric columns."""
+        return self.features.n_cols
+
+    def columns_in(self, category: DataCategory) -> list[str]:
+        """Feature names belonging to one category (insertion order)."""
+        return [
+            name for name in self.features.columns
+            if self.categories[name] is category
+        ]
+
+    def category_counts(self) -> dict[DataCategory, int]:
+        """Number of candidate metrics per category."""
+        counts = {category: 0 for category in DataCategory}
+        for name in self.features.columns:
+            counts[self.categories[name]] += 1
+        return counts
+
+
+def generate_raw_dataset(
+    config: SimulationConfig | None = None,
+) -> RawDataset:
+    """Run the full simulator and assemble the joined feature frame."""
+    config = config if config is not None else SimulationConfig()
+    latent = generate_latent_market(config)
+    universe = generate_universe(config, latent)
+
+    parts: list[tuple[Frame, DataCategory]] = [
+        (technical_indicator_frame(universe.btc), DataCategory.TECHNICAL),
+        (generate_btc_onchain(config, latent, universe),
+         DataCategory.ONCHAIN_BTC),
+        (generate_usdc_onchain(config, latent, universe),
+         DataCategory.ONCHAIN_USDC),
+        (generate_sentiment(config, latent), DataCategory.SENTIMENT),
+        (generate_tradfi(config, latent), DataCategory.TRADFI),
+        (generate_macro(config, latent), DataCategory.MACRO),
+    ]
+    if config.include_eth:
+        parts.insert(3, (
+            generate_eth_onchain(config, latent, universe),
+            DataCategory.ONCHAIN_ETH,
+        ))
+
+    categories: dict[str, DataCategory] = {}
+    for frame, category in parts:
+        for name in frame.columns:
+            if name in categories:
+                raise ValueError(
+                    f"duplicate metric name across categories: {name!r}"
+                )
+            categories[name] = category
+
+    features = concat_columns(*(frame for frame, _ in parts))
+    return RawDataset(
+        config=config,
+        latent=latent,
+        universe=universe,
+        features=features,
+        categories=categories,
+    )

@@ -1,0 +1,154 @@
+"""Asset universe: market caps for N assets and BTC OHLCV.
+
+The Crypto100 index (the paper's forecasting target) needs a daily list
+of the top-100 market caps out of a wider universe, with realistic churn
+in the membership. Each asset's log market cap follows the aggregate
+market with its own beta plus an idiosyncratic random walk; the random
+walks produce rank churn just like the maturing real market.
+
+BTC is asset 0 with beta ~1 and a dominant initial cap; its OHLCV frame
+feeds the technical-indicator suite and the on-chain generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frame.frame import Frame
+from ..frame.index import DateIndex
+from .config import SimulationConfig
+from .latent import LatentMarket
+from .rng import SeedBank
+
+__all__ = ["MarketUniverse", "generate_universe", "btc_supply_schedule"]
+
+_GENESIS_SUPPLY = 16.0e6  # BTC circulating at simulation start (≈2016)
+_DAILY_ISSUANCE = 900.0   # ≈144 blocks/day * 6.25, halving ignored intraday
+
+
+def btc_supply_schedule(n_days: int) -> np.ndarray:
+    """Deterministic circulating-supply path with decaying issuance.
+
+    Approximates the halving schedule with a smooth exponential decay of
+    daily issuance (halving every ~4 years), which preserves the property
+    the stock-to-flow metrics need: supply grows, issuance shrinks.
+    """
+    if n_days < 0:
+        raise ValueError("n_days must be >= 0")
+    if n_days == 0:
+        return np.empty(0, dtype=np.float64)
+    t = np.arange(n_days, dtype=np.float64)
+    issuance = _DAILY_ISSUANCE * 0.5 ** (t / 1460.0)
+    return _GENESIS_SUPPLY + np.concatenate(
+        ([0.0], np.cumsum(issuance)[:-1])
+    )
+
+
+@dataclass(frozen=True)
+class MarketUniverse:
+    """Daily market caps for the asset universe plus BTC market data."""
+
+    index: DateIndex
+    names: list[str]
+    caps: np.ndarray        # (n_days, n_assets) market caps in USD
+    btc: Frame              # open/high/low/close/volume/market_cap
+    btc_supply: np.ndarray  # circulating BTC per day
+
+    @property
+    def n_assets(self) -> int:
+        """Number of assets in the universe."""
+        return int(self.caps.shape[1])
+
+    def total_cap(self) -> np.ndarray:
+        """Total market capitalisation across the whole universe."""
+        return self.caps.sum(axis=1)
+
+    def top_n_cap(self, n: int = 100) -> np.ndarray:
+        """Summed cap of the daily top-``n`` assets (Fig. 1 numerator)."""
+        if not 0 < n <= self.n_assets:
+            raise ValueError(f"n must be in 1..{self.n_assets}")
+        # partition is O(a) per day and avoids a full sort
+        part = np.partition(self.caps, self.caps.shape[1] - n, axis=1)
+        return part[:, -n:].sum(axis=1)
+
+    def top_n_mask(self, n: int = 100) -> np.ndarray:
+        """Boolean (n_days, n_assets) membership of the daily top-``n``."""
+        ranks = np.argsort(np.argsort(-self.caps, axis=1), axis=1)
+        return ranks < n
+
+
+def generate_universe(config: SimulationConfig,
+                      latent: LatentMarket) -> MarketUniverse:
+    """Sample the asset universe consistent with the latent market."""
+    bank = SeedBank(config.seed)
+    rng = bank.generator("universe")
+    n_days = latent.n_days
+    n_assets = config.n_assets
+
+    # --- per-asset static parameters -----------------------------------
+    names = ["BTC"] + [f"ALT{i:03d}" for i in range(1, n_assets)]
+    betas = np.concatenate(
+        ([1.0], rng.uniform(0.80, 1.20, size=n_assets - 1))
+    )
+    idio_vol = np.concatenate(
+        ([0.004], rng.uniform(0.008, 0.03, size=n_assets - 1))
+    )
+    # Zipf-like initial caps: BTC dominant, long tail of small alts.
+    ranks = np.arange(1, n_assets)
+    alt_caps0 = 4.0e9 / ranks**1.1 * np.exp(rng.normal(0, 0.35,
+                                                       size=n_assets - 1))
+    caps0 = np.concatenate(([1.5e10], alt_caps0))
+
+    # --- cap paths ------------------------------------------------------
+    idio = rng.normal(size=(n_days, n_assets)) * idio_vol
+    idio[0] = 0.0
+    log_caps = (
+        np.log(caps0)[None, :]
+        + latent.market_log_level[:, None] * betas[None, :]
+        + np.cumsum(idio, axis=0)
+    )
+    caps = np.exp(log_caps)
+
+    btc = _btc_frame(config, latent, caps[:, 0], bank)
+    return MarketUniverse(
+        index=latent.index,
+        names=names,
+        caps=caps,
+        btc=btc,
+        btc_supply=btc_supply_schedule(n_days),
+    )
+
+
+def _btc_frame(config: SimulationConfig, latent: LatentMarket,
+               btc_cap: np.ndarray, bank: SeedBank) -> Frame:
+    """Derive BTC OHLCV + market cap from its cap path."""
+    rng = bank.generator("btc_ohlcv")
+    n = btc_cap.size
+    supply = btc_supply_schedule(n)
+    close = btc_cap / supply
+
+    open_ = np.empty(n)
+    open_[0] = close[0]
+    open_[1:] = close[:-1]
+    intraday = np.abs(rng.normal(scale=0.012, size=n))
+    high = np.maximum(open_, close) * (1.0 + intraday)
+    low = np.minimum(open_, close) * (1.0 - intraday)
+
+    # Volume scales with cap, spikes with |returns| and crash regimes.
+    abs_ret = np.abs(np.diff(np.log(close), prepend=np.log(close[0])))
+    turnover = 0.02 + 1.5 * abs_ret + 0.015 * (latent.regimes == 3)
+    volume = btc_cap * turnover * np.exp(rng.normal(0, 0.15, size=n))
+
+    return Frame(
+        latent.index,
+        {
+            "open": open_,
+            "high": high,
+            "low": low,
+            "close": close,
+            "volume": volume,
+            "market_cap": btc_cap,
+        },
+    )

@@ -1,0 +1,533 @@
+"""On-chain metric generators for BTC and USDC.
+
+The paper's on-chain category comes from Coinmetrics' community API; here
+every metric is derived structurally from the latent market state so that
+the *information content* matches what the paper measures:
+
+* address-count and supply-distribution families
+  (``AdrBal...Cnt``, ``SplyAdrBal...``) are functions of the adoption
+  curve and a slow wealth-concentration process → they encode the
+  long-run drivers, which is why the paper finds supply/balance dynamics
+  dominating long-term predictions (Table 3);
+* activity metrics (``SplyActPct1yr``, ``VelCur1yr``, ``TxCnt``...)
+  track trailing market turnover → mixed horizons;
+* miner metrics (``RevAllTimeUSD``, ``RevHashRateUSD``...) follow price
+  and the deterministic issuance schedule;
+* USDC metrics are views of the stablecoin *flow* process — the latent
+  medium/long-horizon driver — so ``usdc_SplyCur`` and friends carry the
+  strong long-window signal the paper reports (Figure 4).
+
+Metric names follow the paper's Table 2 conventions exactly, so the
+result tables of the reproduction read like the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame.frame import Frame
+from ..frame.index import as_ordinal
+from .config import SimulationConfig
+from .latent import LatentMarket
+from .market import MarketUniverse
+from .rng import SeedBank
+
+__all__ = [
+    "generate_btc_onchain",
+    "generate_eth_onchain",
+    "generate_usdc_onchain",
+    "BTC_USD_THRESHOLDS",
+    "BTC_NTV_THRESHOLDS",
+    "ONE_IN_THRESHOLDS",
+]
+
+#: Balance thresholds for the ``...USD#...`` metric families.
+BTC_USD_THRESHOLDS = ("1", "10", "100", "1K", "10K", "100K", "1M", "10M")
+#: Balance thresholds for the ``...Ntv#...`` metric families.
+BTC_NTV_THRESHOLDS = ("0.001", "0.01", "0.1", "1", "10", "100", "1K", "10K")
+#: Ownership-share thresholds for the ``...1in#...`` families.
+ONE_IN_THRESHOLDS = ("10K", "100K", "1M", "10M", "100M", "1B", "10B")
+
+_SUFFIX_VALUE = {
+    "0.001": 0.001, "0.01": 0.01, "0.1": 0.1, "1": 1.0, "10": 10.0,
+    "100": 100.0, "1K": 1e3, "10K": 1e4, "100K": 1e5, "1M": 1e6,
+    "10M": 1e7, "100M": 1e8, "1B": 1e9, "10B": 1e10,
+}
+
+
+def _suffix_value(suffix: str) -> float:
+    return _SUFFIX_VALUE[suffix]
+
+
+def _trailing_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Rolling mean with an expanding-window warm-up (no NaN head)."""
+    values = np.asarray(values, dtype=np.float64)
+    csum = np.cumsum(values)
+    out = np.empty_like(values)
+    n = values.size
+    for_full = min(window, n)
+    # expanding head
+    head = csum[:for_full] / np.arange(1, for_full + 1)
+    out[:for_full] = head
+    if n > window:
+        out[window:] = (csum[window:] - csum[:-window]) / window
+    return out
+
+
+def _concentration_path(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Pareto tail index of the wealth distribution (slowly drifting).
+
+    Lower alpha = more concentrated wealth. Starts ~1.55 (retail heavy)
+    and drifts down as larger holders accumulate — the effect the paper
+    reads from the growing importance of ``fish_pct`` / ``SplyAdrBalUSD10K``
+    in the 2019 set.
+    """
+    out = np.empty(n)
+    state = 1.55
+    noise = rng.normal(scale=0.0018, size=n)
+    for t in range(n):
+        # gentle mean reversion toward 1.20 plus a slow secular decline
+        state += -0.0002 * (state - 1.20) - 0.00008 + noise[t]
+        state = min(max(state, 1.12), 1.9)
+        out[t] = state
+    return out
+
+
+def _address_count_fraction(threshold: float, scale: float,
+                            alpha: np.ndarray) -> np.ndarray:
+    """Fraction of addresses with balance >= threshold (Pareto tail)."""
+    x = np.maximum(threshold / scale, 1.0)
+    return x ** (-alpha)
+
+
+def _supply_fraction_above(threshold: float, scale: float,
+                           alpha: np.ndarray) -> np.ndarray:
+    """Fraction of supply held in addresses with balance >= threshold.
+
+    For a Pareto(alpha, xm) wealth distribution the supply share above
+    balance x is (x/xm)^(1-alpha) (alpha > 1), clipped to [0, 1].
+    """
+    x = np.maximum(threshold / scale, 1.0)
+    return np.clip(x ** (1.0 - alpha), 0.0, 1.0)
+
+
+def generate_btc_onchain(config: SimulationConfig, latent: LatentMarket,
+                         universe: MarketUniverse) -> Frame:
+    """All BTC on-chain metrics as one frame on the simulation index."""
+    bank = SeedBank(config.seed)
+    rng = bank.generator("onchain_btc")
+    n = latent.n_days
+    noise = config.onchain_noise
+
+    def obs(scale: float = 1.0) -> np.ndarray:
+        """Multiplicative lognormal observation noise."""
+        return np.exp(rng.normal(scale=noise * scale, size=n))
+
+    btc = universe.btc
+    price = btc["close"]
+    cap = btc["market_cap"]
+    supply = universe.btc_supply
+    adoption = latent.adoption
+    alpha = _concentration_path(n, bank.generator("btc_concentration"))
+
+    columns: dict[str, np.ndarray] = {}
+
+    # --- population & activity scale -----------------------------------
+    total_addresses = 1.2e7 * np.exp(1.9 * adoption) * obs()
+    abs_ret = np.abs(latent.market_log_return)
+    activity = (
+        0.5 * _trailing_mean(abs_ret, 30) / 0.02
+        + 0.25 * np.abs(latent.sentiment) / 1.5
+        + 0.5
+    )
+
+    # --- address-count families -----------------------------------------
+    mean_balance_ntv = supply / total_addresses * 2.0
+    mean_balance_usd = mean_balance_ntv * price
+    for suffix in BTC_USD_THRESHOLDS:
+        frac = _address_count_fraction(
+            _suffix_value(suffix), mean_balance_usd, alpha
+        )
+        columns[f"AdrBalUSD{suffix}Cnt"] = total_addresses * frac * obs()
+    for suffix in BTC_NTV_THRESHOLDS:
+        frac = _address_count_fraction(
+            _suffix_value(suffix), mean_balance_ntv, alpha
+        )
+        columns[f"AdrBalNtv{suffix}Cnt"] = total_addresses * frac * obs()
+    for suffix in ONE_IN_THRESHOLDS:
+        threshold_ntv = supply / _suffix_value(suffix)
+        frac = _address_count_fraction(
+            1.0, mean_balance_ntv / threshold_ntv, alpha
+        )
+        columns[f"AdrBal1in{suffix}Cnt"] = total_addresses * frac * obs()
+
+    # --- supply-distribution families ------------------------------------
+    for suffix in BTC_USD_THRESHOLDS:
+        frac = _supply_fraction_above(
+            _suffix_value(suffix), mean_balance_usd, alpha
+        )
+        columns[f"SplyAdrBalUSD{suffix}"] = supply * frac * obs()
+    for suffix in BTC_NTV_THRESHOLDS:
+        frac = _supply_fraction_above(
+            _suffix_value(suffix), mean_balance_ntv, alpha
+        )
+        columns[f"SplyAdrBalNtv{suffix}"] = supply * frac * obs()
+    for suffix in ONE_IN_THRESHOLDS:
+        threshold_ntv = supply / _suffix_value(suffix)
+        frac = _supply_fraction_above(
+            1.0, mean_balance_ntv / threshold_ntv, alpha
+        )
+        columns[f"SplyAdrBal1in{suffix}"] = supply * frac * obs()
+
+    top1_share = np.clip(0.88 - 0.28 * (alpha - 1.12), 0.2, 0.95)
+    columns["SplyAdrTop1Pct"] = supply * top1_share * obs()
+    columns["SplyAdrTop10Pct"] = supply * np.clip(
+        top1_share + 0.12, 0.0, 0.99
+    ) * obs()
+
+    # --- supply activity --------------------------------------------------
+    act_windows = {
+        "30d": 30, "90d": 90, "180d": 180, "1yr": 365,
+        "2yr": 730, "3yr": 1095,
+    }
+    base_act = np.clip(0.0035 * activity, 0.0, 0.05)  # daily P(coin moves)
+    for label, window in act_windows.items():
+        pct = 1.0 - np.exp(-base_act * window * 0.55)
+        columns[f"SplyAct{label}"] = supply * pct * obs(0.5)
+    columns["SplyActPct1yr"] = (
+        (1.0 - np.exp(-base_act * 365 * 0.55)) * 100.0 * obs(0.5)
+    )
+    columns["SplyActEver"] = supply * np.clip(
+        0.80 + 0.04 * adoption, 0.0, 0.99
+    ) * obs(0.3)
+    columns["SplyCur"] = supply * obs(0.05)
+    columns["SplyMiner0HopAllUSD"] = (
+        supply * 0.09 * np.exp(-0.15 * adoption) * price * obs()
+    )
+
+    # --- capitalisation metrics -------------------------------------------
+    realized = _ema_like(cap, 200)
+    columns["CapRealUSD"] = realized * obs(0.3)
+    columns["CapMrktFFUSD"] = cap * 0.82 * obs(0.2)
+    columns["CapAct1yrUSD"] = (
+        price * supply * (1.0 - np.exp(-base_act * 365 * 0.55)) * obs(0.5)
+    )
+    columns["market_cap"] = cap * obs(0.05)
+
+    # --- miner economics ----------------------------------------------------
+    issuance = np.diff(supply, prepend=supply[0])
+    issuance[0] = issuance[1] if n > 1 else 900.0
+    fee_rate = 0.0006 * activity
+    fees = btc["volume"] * fee_rate * obs()
+    rev = issuance * price + fees
+    columns["FeeTotUSD"] = fees
+    columns["RevUSD"] = rev * obs(0.3)
+    pre_sim_revenue = 2.0e9
+    columns["RevAllTimeUSD"] = pre_sim_revenue + np.cumsum(rev)
+    hash_rate = 3.0e7 * np.exp(0.9 * adoption) * (
+        _ema_like(price, 90) / price[0]
+    ) ** 0.6 * obs()
+    columns["HashRate"] = hash_rate
+    columns["RevHashRateUSD"] = rev / hash_rate * obs(0.5)
+
+    # --- economic ratios ------------------------------------------------------
+    transfer_value = cap * 0.01 * activity * obs()
+    columns["TxTfrValAdjUSD"] = transfer_value
+    columns["TxCnt"] = 2.4e5 * np.exp(0.9 * adoption) * activity * obs()
+    columns["AdrActCnt"] = (
+        total_addresses * 0.02 * activity * obs()
+    )
+    columns["VelCur1yr"] = (
+        _trailing_mean(transfer_value, 365) * 365.0 / np.maximum(cap, 1.0)
+    ) * obs(0.5)
+    with np.errstate(divide="ignore"):
+        columns["NVTAdj"] = cap / np.maximum(transfer_value, 1.0)
+    columns["s2f_ratio"] = supply / np.maximum(issuance * 365.0, 1e-9)
+    columns["ROI1yr"] = _trailing_roi(price, 365)
+    columns["ROI30d"] = _trailing_roi(price, 30)
+
+    # --- exchange flows ----------------------------------------------------
+    # Deposits/withdrawals to exchange-tagged addresses observe the
+    # market-wide capital-flow driver directly on the BTC chain (real
+    # Coinmetrics publishes the same family). This is the fundamental
+    # signal that makes BTC on-chain almost self-sufficient — the paper's
+    # Table 6 finding that this category benefits least from diversity.
+    flow_sig = latent.flows
+    gross = supply * 0.004 * (1.0 + 0.4 * activity)
+    inflow = gross * np.exp(0.25 * flow_sig) * obs(0.5)
+    outflow = gross * np.exp(-0.25 * flow_sig) * obs(0.5)
+    columns["FlowInExUSD"] = inflow * price
+    columns["FlowOutExUSD"] = outflow * price
+    columns["FlowNetExUSD"] = (inflow - outflow) * price
+    columns["FlowInExNtv"] = inflow
+    columns["FlowOutExNtv"] = outflow
+    # Exchange balance integrates net flows (scaled down, mean-reverting).
+    ex_balance = 0.12 * supply * np.exp(
+        0.02 * np.cumsum(np.tanh(flow_sig) * 0.05)
+    ) * obs(0.3)
+    columns["SplyExNtv"] = ex_balance
+    columns["SplyExPct"] = ex_balance / supply * 100.0
+
+    # SER: supply held by tiny addresses over supply of the top 1 %.
+    tiny_threshold = supply / 1.0e7
+    tiny_frac = 1.0 - _supply_fraction_above(
+        1.0, mean_balance_ntv / tiny_threshold, alpha
+    )
+    columns["SER"] = np.clip(
+        tiny_frac / np.maximum(top1_share, 1e-6), 0.0, 10.0
+    ) * obs(0.5)
+
+    # --- holder cohorts ----------------------------------------------------
+    shrimp = 1.0 - _address_count_fraction(10.0, mean_balance_ntv, alpha)
+    fish = (
+        _address_count_fraction(10.0, mean_balance_ntv, alpha)
+        - _address_count_fraction(100.0, mean_balance_ntv, alpha)
+    )
+    columns["shrimps_pct"] = np.clip(shrimp * obs(0.2), 0, 1)
+    columns["fish_pct"] = np.clip(fish * obs(0.2), 0, 1)
+    columns["whales_pct"] = np.clip(
+        _address_count_fraction(1000.0, mean_balance_ntv, alpha) * obs(0.2),
+        0, 1,
+    )
+    columns["total_balance"] = supply * np.clip(
+        0.60 + 0.05 * (1.9 - alpha), 0, 1
+    ) * obs(0.2)
+
+    return Frame(latent.index, columns)
+
+
+def generate_usdc_onchain(config: SimulationConfig, latent: LatentMarket,
+                          universe: MarketUniverse) -> Frame:
+    """All USDC on-chain metrics (NaN before ``config.usdc_start``).
+
+    The stablecoin's supply integrates the latent flow process, so these
+    columns are the cleanest observable of the medium/long-horizon driver.
+    """
+    bank = SeedBank(config.seed)
+    rng = bank.generator("onchain_usdc")
+    n = latent.n_days
+    noise = config.onchain_noise
+
+    def obs(scale: float = 1.0) -> np.ndarray:
+        return np.exp(rng.normal(scale=noise * scale, size=n))
+
+    flows = latent.flows
+    # Supply integrates flows: growth when capital enters the market.
+    growth = 0.0022 * flows + 0.0016
+    log_supply = np.log(2.5e8) + np.cumsum(growth)
+    supply = np.exp(np.clip(log_supply, None, np.log(6e10)))
+
+    alpha = _concentration_path(n, bank.generator("usdc_concentration"))
+    alpha = alpha - 0.12  # stablecoin wealth is more institutional
+
+    total_addresses = 3.0e5 * (supply / supply[0]) ** 0.8 * obs()
+    mean_balance = supply / total_addresses * 2.0
+
+    columns: dict[str, np.ndarray] = {}
+    usd_thresholds = ("1", "10", "100", "1K", "10K", "100K", "1M", "10M")
+    for suffix in usd_thresholds:
+        frac = _address_count_fraction(
+            _suffix_value(suffix), mean_balance, alpha
+        )
+        count = total_addresses * frac * obs()
+        columns[f"usdc_AdrBalUSD{suffix}Cnt"] = count
+        # USDC trades at $1: native == USD thresholds, but published as a
+        # separate Coinmetrics series with its own sampling noise.
+        columns[f"usdc_AdrBalNtv{suffix}Cnt"] = count * obs(0.3)
+    for suffix in ("10K", "100K", "1M", "10M", "100M"):
+        threshold = supply / _suffix_value(suffix)
+        frac = _address_count_fraction(1.0, mean_balance / threshold, alpha)
+        columns[f"usdc_AdrBal1in{suffix}Cnt"] = (
+            total_addresses * frac * obs()
+        )
+
+    for suffix in usd_thresholds:
+        frac = _supply_fraction_above(
+            _suffix_value(suffix), mean_balance, alpha
+        )
+        held = supply * frac * obs()
+        columns[f"usdc_SplyAdrBalUSD{suffix}"] = held
+        columns[f"usdc_SplyAdrBalNtv{suffix}"] = held * obs(0.3)
+    for suffix in ("0.001", "0.01", "0.1"):
+        frac = _supply_fraction_above(
+            _suffix_value(suffix), mean_balance, alpha
+        )
+        columns[f"usdc_SplyAdrBalNtv{suffix}"] = supply * frac * obs()
+    for suffix in ("10K", "100K", "1M", "10M", "100M"):
+        threshold = supply / _suffix_value(suffix)
+        frac = _supply_fraction_above(1.0, mean_balance / threshold, alpha)
+        columns[f"usdc_SplyAdrBal1in{suffix}"] = supply * frac * obs()
+
+    # Activity: stablecoins churn when capital moves either direction.
+    intensity = np.abs(flows)
+    act = np.clip(0.05 + 0.08 * _trailing_mean(intensity, 14), 0.0, 0.6)
+    for label, window in (
+        ("7d", 7), ("30d", 30), ("90d", 90), ("1yr", 365),
+        ("2yr", 730), ("3yr", 1095),
+    ):
+        pct = 1.0 - np.exp(-act * window * 0.5)
+        columns[f"usdc_SplyAct{label}"] = supply * pct * obs(0.5)
+    columns["usdc_SplyActPct1yr"] = (
+        (1.0 - np.exp(-act * 365 * 0.5)) * 100.0 * obs(0.5)
+    )
+    columns["usdc_SplyActEver"] = supply * 0.97 * obs(0.1)
+    columns["usdc_SplyCur"] = supply * obs(0.05)
+    columns["usdc_CapMrktFFUSD"] = supply * 0.95 * obs(0.1)
+    columns["usdc_CapAct1yrUSD"] = (
+        supply * (1.0 - np.exp(-act * 365 * 0.5)) * obs(0.5)
+    )
+
+    transfer = supply * act * 1.5 * obs()
+    columns["usdc_TxTfrValAdjUSD"] = transfer
+    columns["usdc_TxCnt"] = 3.0e4 * (supply / supply[0]) ** 0.9 * (
+        0.5 + act
+    ) * obs()
+    columns["usdc_AdrActCnt"] = total_addresses * 0.05 * (0.5 + act) * obs()
+    columns["usdc_VelCur1yr"] = (
+        _trailing_mean(transfer, 365) * 365.0 / np.maximum(supply, 1.0)
+    ) * obs(0.5)
+    top1_share = np.clip(0.9 - 0.25 * (alpha - 1.0), 0.2, 0.97)
+    tiny_threshold = supply / 1.0e7
+    tiny_frac = 1.0 - _supply_fraction_above(
+        1.0, mean_balance / tiny_threshold, alpha
+    )
+    columns["usdc_SER"] = np.clip(
+        tiny_frac / np.maximum(top1_share, 1e-6), 0.0, 10.0
+    ) * obs(0.5)
+
+    # Mask everything before the launch date.
+    start_pos = int(
+        np.searchsorted(latent.index.ordinals, as_ordinal(config.usdc_start))
+    )
+    if start_pos > 0:
+        for name in columns:
+            masked = columns[name].copy()
+            masked[:start_pos] = np.nan
+            columns[name] = masked
+    return Frame(latent.index, columns)
+
+
+def generate_eth_onchain(config: SimulationConfig, latent: LatentMarket,
+                         universe: MarketUniverse) -> Frame:
+    """ETH on-chain metrics — the §5 on-chain-diversification extension.
+
+    Ethereum stands in for the DeFi market segment: in addition to the
+    address/supply families, it publishes gas usage, contract activity,
+    DeFi total-value-locked and staking metrics. ETH's activity loads on
+    the same latent drivers with a stronger sentiment component (DeFi
+    usage is more speculative than BTC settlement).
+    """
+    bank = SeedBank(config.seed)
+    rng = bank.generator("onchain_eth")
+    n = latent.n_days
+    noise = config.onchain_noise
+
+    def obs(scale: float = 1.0) -> np.ndarray:
+        return np.exp(rng.normal(scale=noise * scale, size=n))
+
+    # ETH rides the market with its own adoption kicker.
+    eth_adoption = latent.adoption * 1.15
+    eth_price = 10.0 * np.exp(
+        1.05 * latent.market_log_level
+        + 0.3 * (eth_adoption - latent.adoption)
+    ) * obs(0.3)
+    supply = 9.0e7 + np.cumsum(np.full(n, 13000.0))  # ~constant issuance
+    alpha = _concentration_path(n, bank.generator("eth_concentration"))
+    alpha = alpha - 0.05
+
+    total_addresses = 5.0e6 * np.exp(1.7 * eth_adoption) * obs()
+    mean_balance_ntv = supply / total_addresses * 2.0
+    mean_balance_usd = mean_balance_ntv * eth_price
+
+    abs_ret = np.abs(latent.market_log_return)
+    activity = (
+        0.45 * _trailing_mean(abs_ret, 30) / 0.02
+        + 0.40 * np.abs(latent.sentiment) / 1.5
+        + 0.5
+    )
+
+    columns: dict[str, np.ndarray] = {}
+    for suffix in ("1", "100", "10K", "1M"):
+        frac = _address_count_fraction(
+            _suffix_value(suffix), mean_balance_usd, alpha
+        )
+        columns[f"eth_AdrBalUSD{suffix}Cnt"] = (
+            total_addresses * frac * obs()
+        )
+    for suffix in ("0.01", "1", "100", "10K"):
+        frac = _address_count_fraction(
+            _suffix_value(suffix), mean_balance_ntv, alpha
+        )
+        columns[f"eth_AdrBalNtv{suffix}Cnt"] = (
+            total_addresses * frac * obs()
+        )
+    for suffix in ("0.01", "1", "100", "10K"):
+        frac = _supply_fraction_above(
+            _suffix_value(suffix), mean_balance_ntv, alpha
+        )
+        columns[f"eth_SplyAdrBalNtv{suffix}"] = supply * frac * obs()
+    columns["eth_SplyCur"] = supply * obs(0.05)
+    base_act = np.clip(0.005 * activity, 0.0, 0.08)
+    for label, window in (("30d", 30), ("1yr", 365), ("2yr", 730)):
+        pct = 1.0 - np.exp(-base_act * window * 0.55)
+        columns[f"eth_SplyAct{label}"] = supply * pct * obs(0.5)
+    columns["eth_SplyActPct1yr"] = (
+        (1.0 - np.exp(-base_act * 365 * 0.55)) * 100.0 * obs(0.5)
+    )
+    columns["eth_market_cap"] = eth_price * supply * obs(0.05)
+    columns["eth_CapRealUSD"] = _ema_like(eth_price * supply, 200) * obs(0.3)
+
+    # DeFi-specific families.
+    gas = 5.0e10 * (0.4 + activity) * np.exp(0.3 * eth_adoption) * obs()
+    columns["eth_GasUsed"] = gas
+    columns["eth_TxCnt"] = 5.0e5 * np.exp(0.8 * eth_adoption) * (
+        0.5 + 0.5 * activity
+    ) * obs()
+    columns["eth_ContractCallCnt"] = (
+        2.0e5 * np.exp(1.1 * eth_adoption) * activity * obs()
+    )
+    # TVL integrates flows like the stablecoin supply (DeFi attracts the
+    # same capital) with extra sentiment beta.
+    tvl_growth = 0.0030 * latent.flows + 0.0015 + 0.0008 * np.tanh(
+        latent.sentiment
+    )
+    columns["eth_DeFiTVL"] = 1.0e8 * np.exp(
+        np.clip(np.cumsum(tvl_growth), None, 9.0)
+    ) * obs(0.5)
+    staked = np.clip(
+        0.02 + 0.10 * (eth_adoption / max(eth_adoption[-1], 1e-9)), 0, 0.4
+    )
+    columns["eth_StakedPct"] = staked * 100.0 * obs(0.3)
+    columns["eth_FeeTotUSD"] = gas * 2.0e-8 * eth_price * obs()
+    transfer = eth_price * supply * 0.012 * activity * obs()
+    columns["eth_TxTfrValAdjUSD"] = transfer
+    columns["eth_VelCur1yr"] = (
+        _trailing_mean(transfer, 365) * 365.0
+        / np.maximum(eth_price * supply, 1.0)
+    ) * obs(0.5)
+    columns["eth_AdrActCnt"] = total_addresses * 0.03 * activity * obs()
+
+    return Frame(latent.index, columns)
+
+
+def _ema_like(values: np.ndarray, span: int) -> np.ndarray:
+    """NaN-free EMA (seeded at the first value) for internal derivations."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(values)
+    if values.size == 0:
+        return out
+    alpha = 2.0 / (span + 1.0)
+    state = values[0]
+    for i, x in enumerate(values):
+        state = alpha * x + (1 - alpha) * state
+        out[i] = state
+    return out
+
+
+def _trailing_roi(price: np.ndarray, window: int) -> np.ndarray:
+    """Return over ``window`` days; the warm-up uses the first price."""
+    price = np.asarray(price, dtype=np.float64)
+    past = np.empty_like(price)
+    past[:window] = price[0]
+    past[window:] = price[:-window]
+    return price / past - 1.0

@@ -1,0 +1,40 @@
+"""Deterministic seed management for the simulator.
+
+Every stochastic component receives its own child generator spawned from a
+single master seed, so (a) the full dataset is bit-reproducible and (b)
+changing one component's draws does not perturb any other component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SeedBank"]
+
+
+class SeedBank:
+    """Named, order-independent source of child RNGs from one master seed.
+
+    >>> bank = SeedBank(42)
+    >>> r1 = bank.generator("prices")
+    >>> r2 = bank.generator("prices")
+    >>> r1.integers(100) == r2.integers(100)
+    True
+    """
+
+    def __init__(self, master_seed: int):
+        if not isinstance(master_seed, (int, np.integer)):
+            raise TypeError("master_seed must be an integer")
+        self.master_seed = int(master_seed)
+
+    def generator(self, name: str) -> np.random.Generator:
+        """A fresh generator keyed by ``name`` (same name → same stream)."""
+        # Hash the name into spawn-key material so streams are independent
+        # of the order in which components request them.
+        digest = np.frombuffer(
+            name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32
+        )
+        seq = np.random.SeedSequence(
+            entropy=self.master_seed, spawn_key=tuple(int(v) for v in digest)
+        )
+        return np.random.default_rng(seq)

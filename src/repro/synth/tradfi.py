@@ -1,0 +1,76 @@
+"""Traditional market indices (stocks, bonds, FX, metals, dollar strength).
+
+Each index is a diffusion driven by the latent macro factor with an
+instrument-specific beta, so the family collectively encodes the
+long-horizon macro signal — but one step closer to the market than the
+official macro statistics (which publish with a lag; see
+:mod:`repro.synth.macro`). This matches the paper's observation that
+traditional indices become the second-highest contributor at long
+prediction windows while official macro indicators matter less.
+
+Column names use the paper's ``{TICKER}_Close`` convention (QQQ, UUP,
+EURUSD, BSV, MBB, GLD, SPY, IEF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame.frame import Frame
+from .config import SimulationConfig
+from .latent import LatentMarket
+from .rng import SeedBank
+
+__all__ = ["generate_tradfi", "TRADFI_SPECS"]
+
+#: (ticker, initial level, macro beta, idiosyncratic vol multiplier,
+#:  crypto beta). Positive macro beta = rises when macro conditions ease
+#: (risk-on), negative = safe-haven / dollar-strength behaviour. The
+#: crypto beta is the risk-appetite co-movement between equities and the
+#: crypto market that grew through 2020-2022 — it lets traditional
+#: indices carry *some* crypto-level information, which is why the paper
+#: finds them a mid-pack single-category predictor (Table 6).
+TRADFI_SPECS = (
+    ("QQQ", 120.0, 0.045, 1.6, 0.060),   # Nasdaq-100: strongly risk-on
+    ("SPY", 210.0, 0.035, 1.2, 0.045),   # S&P 500
+    ("UUP", 25.0, -0.030, 0.5, -0.020),  # dollar index: counter-cyclical
+    ("EURUSD", 1.10, -0.022, 0.5, 0.012),  # euro mirrors the dollar
+    ("BSV", 80.0, -0.012, 0.25, 0.0),    # short-term bonds: safe haven
+    ("MBB", 105.0, -0.015, 0.3, 0.0),    # mortgage-backed bonds
+    ("IEF", 105.0, -0.020, 0.45, -0.008),  # 7-10y treasuries
+    ("GLD", 115.0, 0.012, 0.8, 0.010),   # gold: mixed macro exposure
+)
+
+
+def generate_tradfi(config: SimulationConfig,
+                    latent: LatentMarket) -> Frame:
+    """Daily close (and derived) series for the traditional indices."""
+    bank = SeedBank(config.seed)
+    n = latent.n_days
+    macro = latent.macro
+    macro_change = np.diff(macro, prepend=macro[0])
+
+    columns: dict[str, np.ndarray] = {}
+    for ticker, level0, beta, vol_mult, crypto_beta in TRADFI_SPECS:
+        rng = bank.generator(f"tradfi_{ticker}")
+        eps = rng.normal(scale=config.tradfi_noise * vol_mult, size=n)
+        drift = 0.00012 * vol_mult  # small secular up-drift for equities
+        log_ret = (
+            drift + beta * macro_change * 2.0
+            + crypto_beta * latent.market_log_return + eps
+        )
+        series = level0 * np.exp(np.cumsum(log_ret))
+        columns[f"{ticker}_Close"] = series
+
+    # A couple of derived cross-market series commonly used in practice.
+    columns["QQQ_SPY_ratio"] = columns["QQQ_Close"] / columns["SPY_Close"]
+    columns["stocks_bonds_ratio"] = (
+        columns["SPY_Close"] / columns["IEF_Close"]
+    )
+    rng = bank.generator("tradfi_vix")
+    # Volatility index: loads on negative macro conditions plus crypto vol.
+    vix = 16.0 + 6.0 * np.tanh(-0.8 * macro) + 2.0 * np.abs(
+        latent.market_log_return
+    ) / 0.03 + rng.normal(scale=1.2, size=n)
+    columns["VIX_Close"] = np.clip(vix, 9.0, 90.0)
+    return Frame(latent.index, columns)

@@ -1,0 +1,164 @@
+"""Unit tests for the walk-forward engine and strategies."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import (
+    BacktestConfig,
+    BuyAndHold,
+    LongFlat,
+    ProportionalSizing,
+    Strategy,
+    walk_forward,
+)
+
+
+@pytest.fixture
+def rising_prices():
+    return np.linspace(100.0, 200.0, 50)
+
+
+@pytest.fixture
+def falling_prices():
+    return np.linspace(200.0, 100.0, 50)
+
+
+class TestStrategies:
+    def test_buy_and_hold_always_one(self):
+        s = BuyAndHold()
+        assert s.target_weight(100.0, 50.0) == 1.0
+        assert s.target_weight(100.0, 150.0) == 1.0
+
+    def test_long_flat_threshold(self):
+        s = LongFlat(threshold=0.05)
+        assert s.target_weight(100.0, 106.0) == 1.0
+        assert s.target_weight(100.0, 104.0) == 0.0
+        assert s.target_weight(100.0, 90.0) == 0.0
+
+    def test_long_flat_zero_threshold(self):
+        s = LongFlat()
+        assert s.target_weight(100.0, 100.01) == 1.0
+        assert s.target_weight(100.0, 100.0) == 0.0
+
+    def test_proportional_sizing(self):
+        s = ProportionalSizing(full_at=0.10)
+        assert s.target_weight(100.0, 105.0) == pytest.approx(0.5)
+        assert s.target_weight(100.0, 120.0) == 1.0
+        assert s.target_weight(100.0, 95.0) == 0.0
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            LongFlat(threshold=-0.1)
+        with pytest.raises(ValueError):
+            ProportionalSizing(full_at=0.0)
+        with pytest.raises(ValueError):
+            LongFlat().target_weight(0.0, 1.0)
+        with pytest.raises(NotImplementedError):
+            Strategy().target_weight(1.0, 1.0)
+
+
+class TestEngine:
+    def test_buy_and_hold_tracks_prices(self, rising_prices):
+        result = walk_forward(
+            rising_prices, rising_prices, BuyAndHold(),
+            BacktestConfig(cost_bps=0.0),
+        )
+        expected = rising_prices / rising_prices[0]
+        assert np.allclose(result.equity, expected)
+        assert result.n_trades == 1  # the initial entry
+
+    def test_perfect_foresight_beats_buy_and_hold(self):
+        """A long/flat strategy with oracle forecasts sidesteps the drop."""
+        prices = np.concatenate([
+            np.linspace(100, 150, 30),      # up
+            np.linspace(150, 90, 30),       # down
+            np.linspace(90, 140, 30),       # up again
+        ])
+        oracle = np.concatenate([prices[7:], np.full(7, prices[-1])])
+        cfg = BacktestConfig(rebalance_every=7, cost_bps=0.0)
+        smart = walk_forward(prices, oracle, LongFlat(), cfg)
+        passive = walk_forward(prices, prices, BuyAndHold(), cfg)
+        assert smart.equity[-1] > passive.equity[-1]
+
+    def test_flat_forecast_stays_in_cash(self, falling_prices):
+        result = walk_forward(
+            falling_prices, falling_prices * 0.9, LongFlat(),
+            BacktestConfig(cost_bps=0.0),
+        )
+        assert np.allclose(result.equity, 1.0)
+        assert result.n_trades == 0
+        assert (result.weights == 0).all()
+
+    def test_costs_reduce_equity(self, rising_prices):
+        free = walk_forward(rising_prices, rising_prices * 1.1,
+                            LongFlat(), BacktestConfig(cost_bps=0.0))
+        costly = walk_forward(rising_prices, rising_prices * 1.1,
+                              LongFlat(), BacktestConfig(cost_bps=100.0))
+        assert costly.equity[-1] < free.equity[-1]
+        assert costly.total_costs > 0
+
+    def test_rebalance_cadence_respected(self, rising_prices):
+        result = walk_forward(
+            rising_prices, rising_prices * 1.1, LongFlat(),
+            BacktestConfig(rebalance_every=10, cost_bps=0.0),
+        )
+        # weight can only change on days 0, 10, 20, ...
+        changes = np.flatnonzero(np.diff(result.weights) != 0) + 1
+        assert all(c % 10 == 0 for c in changes)
+
+    def test_weights_recorded(self, rising_prices):
+        result = walk_forward(rising_prices, rising_prices * 1.1,
+                              LongFlat(), BacktestConfig(cost_bps=0.0))
+        assert result.weights.shape == rising_prices.shape
+        assert set(np.unique(result.weights)) <= {0.0, 1.0}
+
+    def test_summary_keys(self, rising_prices):
+        result = walk_forward(rising_prices, rising_prices,
+                              BuyAndHold())
+        summary = result.summary()
+        for key in ("total_return", "sharpe", "max_drawdown",
+                    "n_trades", "annualized_return"):
+            assert key in summary
+
+    def test_proportional_partial_exposure(self, rising_prices):
+        result = walk_forward(
+            rising_prices, rising_prices * 1.05,
+            ProportionalSizing(full_at=0.10),
+            BacktestConfig(cost_bps=0.0),
+        )
+        # +5 % forecast with full_at 10 % -> half-invested
+        assert 0.0 < result.weights[0] < 1.0
+        assert result.equity[-1] > 1.0
+
+    def test_validation(self, rising_prices):
+        with pytest.raises(ValueError):
+            walk_forward(rising_prices, rising_prices[:-1], BuyAndHold())
+        with pytest.raises(ValueError):
+            walk_forward([100.0], [100.0], BuyAndHold())
+        with pytest.raises(ValueError):
+            walk_forward([-1.0, 1.0], [1.0, 1.0], BuyAndHold())
+        with pytest.raises(ValueError):
+            walk_forward([1.0, np.nan], [1.0, 1.0], BuyAndHold())
+        with pytest.raises(ValueError):
+            BacktestConfig(rebalance_every=0)
+        with pytest.raises(ValueError):
+            BacktestConfig(cost_bps=-1.0)
+        with pytest.raises(ValueError):
+            BacktestConfig(initial_equity=0.0)
+
+    def test_bad_strategy_weight_rejected(self, rising_prices):
+        class Leveraged(Strategy):
+            def target_weight(self, current_price, predicted_price):
+                return 2.0
+
+        with pytest.raises(ValueError):
+            walk_forward(rising_prices, rising_prices, Leveraged())
+
+    def test_initial_equity_scales(self, rising_prices):
+        small = walk_forward(rising_prices, rising_prices, BuyAndHold(),
+                             BacktestConfig(initial_equity=1.0,
+                                            cost_bps=0.0))
+        big = walk_forward(rising_prices, rising_prices, BuyAndHold(),
+                           BacktestConfig(initial_equity=100.0,
+                                          cost_bps=0.0))
+        assert np.allclose(big.equity, small.equity * 100.0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.backtest.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import (
+    annualized_return,
+    annualized_volatility,
+    calmar_ratio,
+    hit_rate,
+    max_drawdown,
+    sharpe_ratio,
+    sortino_ratio,
+    total_return,
+)
+
+
+@pytest.fixture
+def doubling_curve():
+    """Doubles smoothly over exactly one year."""
+    return np.exp(np.linspace(0, np.log(2), 366))
+
+
+class TestReturns:
+    def test_total_return(self, doubling_curve):
+        assert total_return(doubling_curve) == pytest.approx(1.0)
+
+    def test_annualized_return_one_year_double(self, doubling_curve):
+        assert annualized_return(doubling_curve) == pytest.approx(1.0)
+
+    def test_annualized_return_two_years(self):
+        curve = np.exp(np.linspace(0, np.log(4), 731))
+        assert annualized_return(curve) == pytest.approx(1.0, rel=1e-6)
+
+    def test_losing_curve_negative(self):
+        curve = np.linspace(1.0, 0.5, 100)
+        assert total_return(curve) == pytest.approx(-0.5)
+        assert annualized_return(curve) < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_return(np.array([1.0]))
+        with pytest.raises(ValueError):
+            total_return(np.array([1.0, -1.0]))
+
+
+class TestRisk:
+    def test_smooth_curve_zero_vol(self, doubling_curve):
+        assert annualized_volatility(doubling_curve) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_volatility_scales_with_noise(self):
+        rng = np.random.default_rng(0)
+        calm = np.exp(np.cumsum(rng.normal(0, 0.001, 500)))
+        wild = np.exp(np.cumsum(rng.normal(0, 0.03, 500)))
+        assert (annualized_volatility(wild)
+                > annualized_volatility(calm) * 5)
+
+    def test_max_drawdown_known(self):
+        curve = np.array([1.0, 2.0, 1.0, 3.0])
+        assert max_drawdown(curve) == pytest.approx(0.5)
+
+    def test_monotone_curve_no_drawdown(self, doubling_curve):
+        assert max_drawdown(doubling_curve) == 0.0
+
+    def test_drawdown_bounded(self):
+        rng = np.random.default_rng(1)
+        curve = np.exp(np.cumsum(rng.normal(0, 0.05, 500)))
+        assert 0.0 <= max_drawdown(curve) < 1.0
+
+
+class TestRatios:
+    def test_sharpe_positive_for_uptrend(self):
+        rng = np.random.default_rng(2)
+        curve = np.exp(np.cumsum(rng.normal(0.002, 0.01, 500)))
+        assert sharpe_ratio(curve) > 1.0
+
+    def test_sharpe_flat_curve_zero(self):
+        assert sharpe_ratio(np.ones(100)) == 0.0
+
+    def test_sharpe_risk_free_reduces(self):
+        rng = np.random.default_rng(3)
+        curve = np.exp(np.cumsum(rng.normal(0.001, 0.01, 500)))
+        assert sharpe_ratio(curve, risk_free_rate=0.10) < sharpe_ratio(curve)
+
+    def test_sortino_no_down_days_inf(self, doubling_curve):
+        assert sortino_ratio(doubling_curve) == float("inf")
+
+    def test_sortino_exceeds_sharpe_for_skewed_returns(self):
+        """Mostly-up curves have small downside deviation."""
+        rng = np.random.default_rng(4)
+        daily = np.where(rng.random(500) < 0.8, 0.01, -0.005)
+        curve = np.cumprod(np.concatenate(([1.0], 1 + daily)))
+        assert sortino_ratio(curve) > sharpe_ratio(curve)
+
+    def test_calmar(self):
+        curve = np.array([1.0, 2.0, 1.5] + [1.5] * 363)
+        expected = annualized_return(curve) / 0.25
+        assert calmar_ratio(curve) == pytest.approx(expected)
+
+    def test_calmar_no_drawdown(self, doubling_curve):
+        assert calmar_ratio(doubling_curve) == float("inf")
+
+    def test_hit_rate(self):
+        curve = np.array([1.0, 1.1, 1.0, 1.2, 1.2])
+        # moves: +, -, +, flat -> 2/3 of active days positive
+        assert hit_rate(curve) == pytest.approx(2 / 3)
+
+    def test_hit_rate_all_flat(self):
+        assert hit_rate(np.ones(10)) == 0.0

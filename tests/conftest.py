@@ -1,0 +1,23 @@
+"""Repository-wide shared fixtures.
+
+The small simulated dataset is used by test modules across packages
+(synth generators, frame validation, core pipeline pieces); hosting it
+here keeps it session-scoped and built exactly once.
+"""
+
+import pytest
+
+from repro.synth import SimulationConfig, generate_raw_dataset
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """Two simulated years — enough structure, fast to generate."""
+    return SimulationConfig(
+        start="2018-01-01", end="2019-12-31", seed=123, n_assets=110,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_raw(small_config):
+    return generate_raw_dataset(small_config)

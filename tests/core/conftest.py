@@ -1,0 +1,39 @@
+"""Shared fixtures for core tests.
+
+The expensive artefacts (simulated dataset, scenarios, one full fast
+experiment) are session-scoped: they are built once and shared by every
+test that reads them.
+"""
+
+import pytest
+
+from repro import ExperimentConfig, run_experiment
+from repro.core.scenarios import build_scenario
+from repro.synth import SimulationConfig, generate_raw_dataset
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def raw(fast_config):
+    """The fast-preset dataset (2016-06 .. 2020-12)."""
+    return generate_raw_dataset(fast_config.simulation)
+
+
+@pytest.fixture(scope="session")
+def scenario_2017_7(raw):
+    return build_scenario(raw, "2017", 7)
+
+
+@pytest.fixture(scope="session")
+def scenario_2019_90(raw):
+    return build_scenario(raw, "2019", 90)
+
+
+@pytest.fixture(scope="session")
+def results(fast_config, raw):
+    """One full fast experiment, shared across the test module."""
+    return run_experiment(fast_config, raw=raw)

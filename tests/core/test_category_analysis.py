@@ -1,0 +1,82 @@
+"""Tests for the isolated-category analysis extension."""
+
+import numpy as np
+import pytest
+
+from repro.categories import DataCategory
+from repro.core.category_analysis import (
+    analyze_all_categories,
+    analyze_category,
+)
+
+FAST_RF = {"n_estimators": 5, "max_depth": 8, "max_features": "sqrt",
+           "min_samples_leaf": 2}
+
+
+class TestAnalyzeCategory:
+    @pytest.fixture(scope="class")
+    def profile(self, scenario_2017_7):
+        return analyze_category(
+            scenario_2017_7, DataCategory.TECHNICAL, rf_params=FAST_RF
+        )
+
+    def test_counts_match_scenario(self, profile, scenario_2017_7):
+        assert profile.n_features == len(
+            scenario_2017_7.columns_in(DataCategory.TECHNICAL)
+        )
+
+    def test_importance_normalised(self, profile):
+        total = sum(profile.feature_importance.values())
+        assert total == pytest.approx(1.0)
+        assert all(v >= 0 for v in profile.feature_importance.values())
+
+    def test_top_feature_is_max(self, profile):
+        ranked = profile.ranked_features()
+        assert ranked[0][0] == profile.top_feature
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_scores_finite(self, profile):
+        assert profile.cv_mse > 0
+        assert np.isfinite(profile.cv_r2)
+
+    def test_redundancy_positive(self, profile):
+        assert profile.redundancy > 0
+
+    def test_empty_category_rejected(self, scenario_2017_7):
+        with pytest.raises(ValueError):
+            analyze_category(scenario_2017_7, DataCategory.ONCHAIN_USDC,
+                             rf_params=FAST_RF)
+
+    def test_deterministic(self, scenario_2017_7):
+        a = analyze_category(scenario_2017_7, DataCategory.MACRO,
+                             rf_params=FAST_RF, random_state=1)
+        b = analyze_category(scenario_2017_7, DataCategory.MACRO,
+                             rf_params=FAST_RF, random_state=1)
+        assert a.cv_mse == b.cv_mse
+        assert a.feature_importance == b.feature_importance
+
+
+class TestAnalyzeAll:
+    @pytest.fixture(scope="class")
+    def profiles(self, scenario_2019_90):
+        return analyze_all_categories(scenario_2019_90,
+                                      rf_params=FAST_RF)
+
+    def test_covers_populated_categories(self, profiles, scenario_2019_90):
+        for category in DataCategory:
+            populated = bool(scenario_2019_90.columns_in(category))
+            assert (category in profiles) == populated
+
+    def test_level_tracking_categories_score_best(self, profiles):
+        """BTC on-chain (which includes cap metrics) must beat the coarse
+        lagged macro series standing alone."""
+        assert (profiles[DataCategory.ONCHAIN_BTC].cv_mse
+                < profiles[DataCategory.MACRO].cv_mse)
+
+    def test_r2_ordering_consistent_with_mse(self, profiles):
+        mses = [(p.cv_mse, p.cv_r2) for p in profiles.values()]
+        best_by_mse = min(mses)[0]
+        best_profile = next(p for p in profiles.values()
+                            if p.cv_mse == best_by_mse)
+        assert best_profile.cv_r2 == max(p.cv_r2 for p in profiles.values())

@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.cleaning."""
+
+import numpy as np
+import pytest
+
+from repro.core.cleaning import clean_features
+from repro.frame import Frame, date_range
+
+NAN = np.nan
+
+
+def make_frame(**cols):
+    n = len(next(iter(cols.values())))
+    return Frame(date_range("2019-01-01", periods=n), cols)
+
+
+class TestLateStart:
+    def test_leading_nan_dropped(self):
+        f = make_frame(
+            late=[NAN, NAN, 1.0, 2.0, 3.0],
+            good=[1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        cleaned, report = clean_features(f)
+        assert cleaned.columns == ["good"]
+        assert report.started_late == ["late"]
+
+    def test_keep_late_start_when_disabled(self):
+        f = make_frame(late=[NAN, 1.0, 2.0, 3.0, 4.0])
+        cleaned, report = clean_features(
+            f, drop_late_start=False, max_nan_run_frac=0.5
+        )
+        assert "late" in cleaned.columns
+        assert report.started_late == []
+        # the leading NaN is not interpolated (no left anchor)
+        assert np.isnan(cleaned["late"][0])
+
+
+class TestMissingRuns:
+    def test_long_gap_dropped(self):
+        n = 100
+        gappy = np.arange(float(n))
+        gappy[10:30] = NAN  # 20 % gap > 5 % threshold
+        f = make_frame(gappy=gappy, good=np.arange(float(n)) * 2)
+        cleaned, report = clean_features(f)
+        assert report.too_many_missing == ["gappy"]
+        assert cleaned.columns == ["good"]
+
+    def test_short_gap_interpolated(self):
+        n = 100
+        col = np.arange(float(n))
+        col[50:52] = NAN
+        cleaned, report = clean_features(make_frame(col=col))
+        assert report.n_dropped == 0
+        assert not np.isnan(cleaned["col"]).any()
+        assert cleaned["col"][50] == pytest.approx(50.0)
+
+    def test_threshold_is_relative_to_length(self):
+        n = 40
+        col = np.arange(float(n))
+        col[10:13] = NAN  # 3/40 = 7.5 % > 5 %
+        _, report = clean_features(make_frame(col=col))
+        assert report.too_many_missing == ["col"]
+        _, report2 = clean_features(
+            make_frame(col=col), max_nan_run_frac=0.10
+        )
+        assert report2.too_many_missing == []
+
+
+class TestFlatRuns:
+    def test_long_flat_dropped(self):
+        n = 100
+        flat = np.arange(float(n))
+        flat[20:60] = 7.0  # 40 % constant
+        f = make_frame(flat=flat, good=np.arange(float(n)) * 3)
+        cleaned, report = clean_features(f)
+        assert report.too_flat == ["flat"]
+        assert "good" in cleaned.columns
+
+    def test_fully_constant_dropped(self):
+        f = make_frame(const=np.full(50, 3.0))
+        cleaned, report = clean_features(f)
+        assert report.too_flat == ["const"]
+        assert cleaned.n_cols == 0
+
+    def test_short_plateau_kept(self):
+        n = 100
+        col = np.arange(float(n))
+        col[10:20] = 10.0  # 10 % plateau < 25 %
+        _, report = clean_features(make_frame(col=col))
+        assert report.too_flat == []
+
+
+class TestDuplicates:
+    def test_exact_duplicate_dropped(self):
+        base = np.arange(50.0)
+        f = make_frame(a=base, b=base.copy(), c=base * 2)
+        cleaned, report = clean_features(f)
+        assert cleaned.columns == ["a", "c"]
+        assert report.duplicates == {"b": "a"}
+
+    def test_duplicate_after_interpolation(self):
+        base = np.arange(50.0)
+        with_gap = base.copy()
+        with_gap[25] = NAN  # interpolates back to the same line
+        f = make_frame(a=base, b=with_gap)
+        cleaned, report = clean_features(f)
+        assert report.duplicates == {"b": "a"}
+
+
+class TestReportAndValidation:
+    def test_summary_counts(self):
+        n = 100
+        f = make_frame(
+            late=np.concatenate(([NAN], np.arange(float(n - 1)))),
+            flat=np.full(n, 1.0),
+            good=np.arange(float(n)),
+            dup=np.arange(float(n)),
+        )
+        cleaned, report = clean_features(f)
+        assert report.n_dropped == 3
+        assert "late-start 1" in report.summary()
+        assert cleaned.columns == ["good"]
+
+    def test_empty_frame(self):
+        f = Frame.empty(date_range("2019-01-01", periods=0))
+        cleaned, report = clean_features(f)
+        assert cleaned.n_cols == 0
+        assert report.n_dropped == 0
+
+    def test_invalid_fracs(self):
+        f = make_frame(a=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            clean_features(f, max_nan_run_frac=1.5)
+        with pytest.raises(ValueError):
+            clean_features(f, max_flat_run_frac=-0.1)
+
+    def test_column_order_preserved(self):
+        f = make_frame(
+            z=np.arange(30.0), a=np.arange(30.0) * 2, m=np.arange(30.0) * 3
+        )
+        cleaned, _ = clean_features(f)
+        assert cleaned.columns == ["z", "a", "m"]

@@ -1,0 +1,117 @@
+"""Unit tests for contribution factors and horizon grouping."""
+
+import pytest
+
+from repro.categories import DataCategory
+from repro.core.contribution import contribution_factors, contribution_table
+from repro.core.horizons import (
+    HorizonGroup,
+    merge_group,
+    rf_feature_importance,
+    top_features,
+    unique_features,
+)
+
+
+class TestContributionFactors:
+    def test_ratio_definition(self, scenario_2017_7):
+        sc = scenario_2017_7
+        tech = sc.columns_in(DataCategory.TECHNICAL)
+        final = tech[:4]  # pretend only 4 technical features survived
+        factors = contribution_factors(sc, final)
+        assert factors[DataCategory.TECHNICAL] == pytest.approx(
+            4 / len(tech)
+        )
+        assert factors[DataCategory.MACRO] == 0.0
+
+    def test_all_kept_gives_one(self, scenario_2017_7):
+        sc = scenario_2017_7
+        macro = sc.columns_in(DataCategory.MACRO)
+        factors = contribution_factors(sc, macro)
+        assert factors[DataCategory.MACRO] == pytest.approx(1.0)
+
+    def test_absent_category_omitted(self, scenario_2017_7):
+        """USDC has no candidates in the 2017 set → no ratio reported."""
+        factors = contribution_factors(scenario_2017_7, [])
+        assert DataCategory.ONCHAIN_USDC not in factors
+
+    def test_unknown_feature_rejected(self, scenario_2017_7):
+        with pytest.raises(ValueError):
+            contribution_factors(scenario_2017_7, ["made_up_feature"])
+
+    def test_factors_in_unit_interval(self, results):
+        for period in ("2017", "2019"):
+            for factors in results.contributions(period).values():
+                for value in factors.values():
+                    assert 0.0 <= value <= 1.0
+
+
+class TestContributionTable:
+    def test_pivot(self):
+        per_window = {
+            7: {DataCategory.MACRO: 0.1, DataCategory.TECHNICAL: 0.5},
+            90: {DataCategory.MACRO: 0.4},
+        }
+        table = contribution_table(per_window)
+        assert table[DataCategory.MACRO] == [0.1, 0.4]
+        assert table[DataCategory.TECHNICAL] == [0.5, 0.0]
+
+
+class TestHorizonGroups:
+    def test_merge_averages_common(self):
+        a = {"x": 0.4, "y": 0.2}
+        b = {"x": 0.2, "z": 0.6}
+        group = merge_group("g", [a, b])
+        assert group.importances["x"] == pytest.approx(0.3)
+        assert group.importances["y"] == pytest.approx(0.2)
+        assert group.importances["z"] == pytest.approx(0.6)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_group("g", [])
+
+    def test_ranked_order(self):
+        group = HorizonGroup("g", {"a": 0.1, "b": 0.5, "c": 0.3})
+        assert [f for f, _ in group.ranked()] == ["b", "c", "a"]
+
+    def test_ranked_ties_alphabetical(self):
+        group = HorizonGroup("g", {"b": 0.5, "a": 0.5})
+        assert [f for f, _ in group.ranked()] == ["a", "b"]
+
+    def test_top_features(self):
+        group = HorizonGroup("g", {"a": 0.1, "b": 0.5, "c": 0.3})
+        assert top_features(group, 2) == ["b", "c"]
+        with pytest.raises(ValueError):
+            top_features(group, 0)
+
+    def test_unique_features(self):
+        short = HorizonGroup("s", {"a": 0.5, "b": 0.3, "c": 0.2})
+        long_ = HorizonGroup("l", {"b": 0.4, "d": 0.6})
+        assert unique_features(short, long_, 20) == ["a", "c"]
+        assert unique_features(long_, short, 20) == ["d"]
+
+    def test_unique_respects_k(self):
+        short = HorizonGroup("s", {f"f{i}": 1.0 - i / 10 for i in range(8)})
+        long_ = HorizonGroup("l", {})
+        assert len(unique_features(short, long_, 3)) == 3
+
+
+class TestRfImportance:
+    def test_importance_over_subset(self, scenario_2017_7):
+        subset = scenario_2017_7.feature_names[:6]
+        imp = rf_feature_importance(
+            scenario_2017_7, subset,
+            rf_params={"n_estimators": 4, "max_depth": 5,
+                       "max_features": "sqrt"},
+        )
+        assert set(imp) == set(subset)
+        assert all(v >= 0 for v in imp.values())
+        assert sum(imp.values()) == pytest.approx(1.0)
+
+    def test_deterministic(self, scenario_2017_7):
+        subset = scenario_2017_7.feature_names[:6]
+        params = {"n_estimators": 4, "max_depth": 5,
+                  "max_features": "sqrt"}
+        a = rf_feature_importance(scenario_2017_7, subset, rf_params=params)
+        b = rf_feature_importance(scenario_2017_7, subset, rf_params=params)
+        assert a == b

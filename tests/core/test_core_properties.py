@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for core-layer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cleaning import clean_features
+from repro.core.crypto100 import crypto100_from_caps, tracking_distance
+from repro.core.horizons import HorizonGroup, merge_group, unique_features
+from repro.core.improvement import ScenarioImprovement
+from repro.categories import DataCategory
+from repro.frame import Frame, date_range
+
+
+@st.composite
+def noisy_frame(draw):
+    """A frame with a random mix of clean/gappy/flat/duplicate columns."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    n_rows = draw(st.integers(min_value=10, max_value=60))
+    n_cols = draw(st.integers(min_value=1, max_value=8))
+    rng = np.random.default_rng(seed)
+    idx = date_range("2019-01-01", periods=n_rows)
+    cols = {}
+    for j in range(n_cols):
+        kind = rng.integers(0, 4)
+        base = rng.normal(size=n_rows).cumsum()
+        if kind == 1 and n_rows > 4:  # gap
+            start = rng.integers(1, n_rows - 2)
+            length = rng.integers(1, n_rows - start)
+            base[start:start + length] = np.nan
+        elif kind == 2:  # flat stretch
+            start = rng.integers(0, n_rows // 2)
+            base[start:start + n_rows // 2] = 1.0
+        elif kind == 3 and cols:  # duplicate of an earlier column
+            base = next(iter(cols.values())).copy()
+        cols[f"c{j}"] = base
+    return Frame(idx, cols)
+
+
+class TestCleaningProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(noisy_frame())
+    def test_output_subset_of_input(self, frame):
+        cleaned, report = clean_features(frame)
+        assert set(cleaned.columns) <= set(frame.columns)
+        assert cleaned.n_rows == frame.n_rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(noisy_frame())
+    def test_dropped_plus_kept_partitions_input(self, frame):
+        cleaned, report = clean_features(frame)
+        dropped = (
+            set(report.started_late)
+            | set(report.too_many_missing)
+            | set(report.too_flat)
+            | set(report.duplicates)
+        )
+        assert dropped | set(cleaned.columns) == set(frame.columns)
+        assert not dropped & set(cleaned.columns)
+        assert report.n_dropped == len(dropped)
+
+    @settings(max_examples=60, deadline=None)
+    @given(noisy_frame())
+    def test_idempotent(self, frame):
+        once, _ = clean_features(frame)
+        twice, report2 = clean_features(once)
+        assert twice == once
+        assert report2.n_dropped == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(noisy_frame())
+    def test_no_interior_nans_survive(self, frame):
+        cleaned, _ = clean_features(frame)
+        for name in cleaned.columns:
+            assert not np.isnan(cleaned[name]).any()
+
+
+class TestCrypto100Properties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=5, max_value=9))
+    def test_index_positive_and_finite(self, seed, power):
+        rng = np.random.default_rng(seed)
+        caps = np.exp(rng.uniform(23, 30, size=50))  # $10B .. $10T
+        index = crypto100_from_caps(caps, power)
+        assert np.isfinite(index).all()
+        assert (index > 0).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_tracking_distance_triangle_like(self, seed):
+        """distance(a, c) <= distance(a, b) + distance(b, c)."""
+        rng = np.random.default_rng(seed)
+        a, b, c = np.exp(rng.uniform(1, 10, size=(3, 20)))
+        assert tracking_distance(a, c) <= (
+            tracking_distance(a, b) + tracking_distance(b, c) + 1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_tracking_distance_scale_law(self, seed, factor):
+        """Scaling one series by k shifts distance by <= |log10 k|."""
+        rng = np.random.default_rng(seed)
+        a = np.exp(rng.uniform(1, 10, size=20))
+        b = np.exp(rng.uniform(1, 10, size=20))
+        base = tracking_distance(a, b)
+        scaled = tracking_distance(a * factor, b)
+        assert abs(scaled - base) <= abs(np.log10(factor)) + 1e-9
+
+
+@st.composite
+def importance_maps(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    names = [f"f{i}" for i in range(n)]
+    values = draw(st.lists(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        min_size=n, max_size=n,
+    ))
+    return dict(zip(names, values))
+
+
+class TestHorizonProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(importance_maps(), importance_maps())
+    def test_merge_bounds(self, a, b):
+        """Merged importances are within [min, max] of the inputs."""
+        if not a and not b:
+            return
+        group = merge_group("g", [a, b])
+        for feature, value in group.importances.items():
+            sources = [m[feature] for m in (a, b) if feature in m]
+            assert min(sources) - 1e-12 <= value <= max(sources) + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(importance_maps(), importance_maps())
+    def test_unique_features_disjoint(self, a, b):
+        if not a and not b:
+            return
+        ga, gb = HorizonGroup("a", a), HorizonGroup("b", b)
+        ua = unique_features(ga, gb, 50) if a else []
+        ub = unique_features(gb, ga, 50) if b else []
+        assert not set(ua) & set(b)
+        assert not set(ub) & set(a)
+        assert not set(ua) & set(ub)
+
+
+class TestImprovementProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=1e6),
+           st.lists(st.floats(min_value=1e-6, max_value=1e6),
+                    min_size=1, max_size=6))
+    def test_mean_improvement_bounds(self, diverse_mse, category_mses):
+        cats = list(DataCategory)[:len(category_mses)]
+        res = ScenarioImprovement(
+            "2017", 7, diverse_mse, dict(zip(cats, category_mses))
+        )
+        improvements = res.improvements()
+        mean = res.mean_improvement()
+        assert min(improvements.values()) - 1e-9 <= mean
+        assert mean <= max(improvements.values()) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=1e-3, max_value=1e3))
+    def test_equal_mse_zero_improvement(self, mse):
+        res = ScenarioImprovement(
+            "2019", 30, mse, {DataCategory.MACRO: mse}
+        )
+        assert res.mean_improvement() == pytest.approx(0.0, abs=1e-9)

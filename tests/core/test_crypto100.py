@@ -1,0 +1,104 @@
+"""Unit tests for repro.core.crypto100."""
+
+import numpy as np
+import pytest
+
+from repro.core.crypto100 import (
+    crypto100_from_caps,
+    crypto100_index,
+    scaling_factor_sweep,
+    tracking_distance,
+    tune_scaling_power,
+)
+
+
+class TestFormula:
+    def test_matches_manual_computation(self):
+        caps = np.array([1e11, 2e11, 5e11])
+        index = crypto100_from_caps(caps, power=7)
+        expected = caps / np.log10(caps) ** 7
+        assert np.allclose(index, expected)
+
+    def test_monotone_in_cap(self):
+        """Over realistic cap ranges the index grows with total cap."""
+        caps = np.linspace(1e10, 1e13, 50)
+        index = crypto100_from_caps(caps)
+        assert np.all(np.diff(index) > 0)
+
+    def test_higher_power_shrinks_index(self):
+        caps = np.array([5e11])
+        assert crypto100_from_caps(caps, 8) < crypto100_from_caps(caps, 7)
+        assert crypto100_from_caps(caps, 7) < crypto100_from_caps(caps, 6)
+
+    def test_nonpositive_caps_rejected(self):
+        with pytest.raises(ValueError):
+            crypto100_from_caps(np.array([1e11, 0.0]))
+
+
+class TestIndexFrame:
+    def test_columns_and_consistency(self, raw):
+        frame = crypto100_index(raw.universe)
+        assert set(frame.columns) == {
+            "crypto100", "top100_cap", "total_cap"
+        }
+        assert (frame["top100_cap"] <= frame["total_cap"] + 1e-6).all()
+        recon = crypto100_from_caps(frame["top100_cap"])
+        assert np.allclose(recon, frame["crypto100"])
+
+    def test_comparable_to_btc(self, raw):
+        """Power 7 keeps the index within ~1 order of magnitude of BTC."""
+        frame = crypto100_index(raw.universe)
+        btc = raw.universe.btc["close"]
+        ratio = np.log10(frame["crypto100"] / btc)
+        assert np.abs(ratio).mean() < 1.0
+
+    def test_tracks_market(self, raw):
+        frame = crypto100_index(raw.universe)
+        corr = np.corrcoef(
+            frame["crypto100"], raw.universe.btc["market_cap"]
+        )[0, 1]
+        assert corr > 0.9
+
+
+class TestTrackingDistance:
+    def test_identical_series_zero(self):
+        series = np.array([10.0, 20.0, 30.0])
+        assert tracking_distance(series, series) == 0.0
+
+    def test_order_of_magnitude_is_one(self):
+        a = np.array([10.0, 100.0])
+        assert tracking_distance(a, a * 10) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = np.array([10.0, 20.0])
+        b = np.array([15.0, 25.0])
+        assert tracking_distance(a, b) == pytest.approx(
+            tracking_distance(b, a)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tracking_distance(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            tracking_distance(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            tracking_distance(np.array([-1.0]), np.array([1.0]))
+
+
+class TestScalingSweep:
+    def test_sweep_keys(self, raw):
+        sweep = scaling_factor_sweep(raw.universe, powers=(6, 7, 8))
+        assert set(sweep) == {6, 7, 8}
+
+    def test_sweep_ordering(self, raw):
+        """Figure 2's message: lower powers blow the index far above BTC."""
+        sweep = scaling_factor_sweep(raw.universe, powers=(6, 7, 8))
+        assert (sweep[6] > sweep[7]).all()
+        assert (sweep[7] > sweep[8]).all()
+
+    def test_tuning_picks_seven(self, raw):
+        """The paper's chosen power must win on the simulated universe."""
+        best, distances = tune_scaling_power(raw.universe)
+        assert best == 7
+        assert distances[7] < distances[6]
+        assert distances[7] < distances[8]

@@ -1,0 +1,125 @@
+"""Unit tests for the Feature Reduction Algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.fra import FRAConfig, FRAResult, fra_reduce
+
+TINY = FRAConfig(
+    target_size=5,
+    rf_params={"n_estimators": 5, "max_depth": 5, "max_features": "sqrt"},
+    gb_params={"n_estimators": 8, "max_depth": 3, "learning_rate": 0.2},
+    pfi_repeats=1,
+    pfi_max_rows=120,
+    random_state=0,
+)
+
+
+@pytest.fixture(scope="module")
+def synthetic_problem():
+    """20 features: 4 informative (0-3), 16 noise."""
+    rng = np.random.default_rng(10)
+    n = 400
+    X = rng.normal(size=(n, 20))
+    y = (
+        4.0 * X[:, 0] + 3.0 * X[:, 1] - 2.5 * X[:, 2]
+        + 2.0 * np.sin(2 * X[:, 3])
+        + 0.2 * rng.normal(size=n)
+    )
+    names = [f"f{i:02d}" for i in range(20)]
+    return X, y, names
+
+
+class TestReduction:
+    def test_reaches_target(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        result = fra_reduce(X, y, names, TINY)
+        assert len(result.selected) <= TINY.target_size
+
+    def test_keeps_informative_features(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        result = fra_reduce(X, y, names, TINY)
+        survivors = set(result.selected)
+        # the three strong linear features must survive
+        assert {"f00", "f01", "f02"} <= survivors
+
+    def test_ranking_puts_strongest_first(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        result = fra_reduce(X, y, names, TINY)
+        assert result.selected[0] == "f00"
+
+    def test_history_records_iterations(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        result = fra_reduce(X, y, names, TINY)
+        assert result.n_iterations >= 1
+        for record in result.history:
+            assert set(record) == {
+                "n_features", "corr_threshold", "n_removed"
+            }
+        thresholds = [r["corr_threshold"] for r in result.history]
+        assert thresholds == sorted(thresholds)
+        assert thresholds[0] == pytest.approx(TINY.corr_start)
+
+    def test_threshold_increments_by_step(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        result = fra_reduce(X, y, names, TINY)
+        if result.n_iterations >= 2:
+            diff = (result.history[1]["corr_threshold"]
+                    - result.history[0]["corr_threshold"])
+            assert diff == pytest.approx(TINY.corr_step)
+
+    def test_importances_cover_selected(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        result = fra_reduce(X, y, names, TINY)
+        assert set(result.importances) == set(result.selected)
+        # ranking consistent with importances
+        values = [result.importances[n] for n in result.selected]
+        assert values == sorted(values, reverse=True)
+
+    def test_no_reduction_needed(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        config = FRAConfig(
+            target_size=50,
+            rf_params=TINY.rf_params, gb_params=TINY.gb_params,
+            pfi_repeats=1, pfi_max_rows=120,
+        )
+        result = fra_reduce(X, y, names, config)
+        assert sorted(result.selected) == sorted(names)
+        assert result.n_iterations == 0
+
+    def test_deterministic(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        a = fra_reduce(X, y, names, TINY)
+        b = fra_reduce(X, y, names, TINY)
+        assert a.selected == b.selected
+
+    def test_seed_changes_outcome_possible(self, synthetic_problem):
+        """Different random states may tie-break differently but must
+        still retain the informative features."""
+        X, y, names = synthetic_problem
+        other = FRAConfig(
+            target_size=5, rf_params=TINY.rf_params,
+            gb_params=TINY.gb_params, pfi_repeats=1, pfi_max_rows=120,
+            random_state=99,
+        )
+        result = fra_reduce(X, y, names, other)
+        assert {"f00", "f01", "f02"} <= set(result.selected)
+
+
+class TestValidation:
+    def test_width_mismatch(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        with pytest.raises(ValueError):
+            fra_reduce(X, y, names[:-1], TINY)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FRAConfig(target_size=0)
+        with pytest.raises(ValueError):
+            FRAConfig(corr_step=0.0)
+        with pytest.raises(ValueError):
+            FRAConfig(max_iterations=0)
+
+    def test_result_type(self, synthetic_problem):
+        X, y, names = synthetic_problem
+        assert isinstance(fra_reduce(X, y, names, TINY), FRAResult)

@@ -1,0 +1,189 @@
+"""Unit tests for the diversity improvement study."""
+
+import numpy as np
+import pytest
+
+from repro.categories import DataCategory
+from repro.core.improvement import (
+    ImprovementConfig,
+    ScenarioImprovement,
+    average_by_category,
+    average_by_window,
+    evaluate_feature_set,
+    overall_average,
+)
+
+FAST = ImprovementConfig(
+    model="rf",
+    param_grid={"n_estimators": [5], "max_depth": [8],
+                "max_features": ["sqrt"]},
+    cv_folds=3,
+)
+
+
+class TestEvaluateFeatureSet:
+    def test_returns_positive_mse(self, scenario_2017_7):
+        mse = evaluate_feature_set(
+            scenario_2017_7, scenario_2017_7.feature_names[:10], FAST
+        )
+        assert mse > 0
+
+    def test_more_informative_features_help(self, scenario_2017_7):
+        """Level-tracking technical features must beat macro-only ones
+        at a 7-day horizon (macro series are coarse and lagged)."""
+        sc = scenario_2017_7
+        technical = sc.columns_in(DataCategory.TECHNICAL)
+        macro = sc.columns_in(DataCategory.MACRO)
+        assert technical and macro
+        mse_good = evaluate_feature_set(sc, technical, FAST)
+        mse_weak = evaluate_feature_set(sc, macro, FAST)
+        assert mse_good < mse_weak
+
+    def test_empty_set_rejected(self, scenario_2017_7):
+        with pytest.raises(ValueError):
+            evaluate_feature_set(scenario_2017_7, [], FAST)
+
+    def test_holdout_mode(self, scenario_2017_7):
+        cfg = ImprovementConfig(
+            model="rf",
+            param_grid={"n_estimators": [5], "max_depth": [8],
+                        "max_features": ["sqrt"]},
+            cv_folds=3, evaluation="holdout",
+        )
+        mse = evaluate_feature_set(
+            scenario_2017_7, scenario_2017_7.feature_names[:10], cfg
+        )
+        assert mse > 0
+
+    def test_walkforward_mode_stricter_than_cv(self, scenario_2017_7):
+        grid = {"n_estimators": [5], "max_depth": [8],
+                "max_features": ["sqrt"]}
+        names = scenario_2017_7.feature_names[:10]
+        mse_cv = evaluate_feature_set(
+            scenario_2017_7, names,
+            ImprovementConfig(model="rf", param_grid=grid, cv_folds=3),
+        )
+        mse_wf = evaluate_feature_set(
+            scenario_2017_7, names,
+            ImprovementConfig(model="rf", param_grid=grid, cv_folds=3,
+                              evaluation="walkforward"),
+        )
+        # rolling-origin cannot interpolate future levels: strictly harder
+        assert mse_wf > mse_cv
+
+    def test_unknown_mode_rejected(self, scenario_2017_7):
+        cfg = ImprovementConfig(
+            model="rf",
+            param_grid={"n_estimators": [5], "max_depth": [8],
+                        "max_features": ["sqrt"]},
+            cv_folds=3, evaluation="oracle",
+        )
+        with pytest.raises(ValueError):
+            evaluate_feature_set(
+                scenario_2017_7, scenario_2017_7.feature_names[:5], cfg
+            )
+
+
+class TestScenarioImprovement:
+    def test_improvements_formula(self):
+        res = ScenarioImprovement(
+            period="2017", window=7, diverse_mse=2.0,
+            category_mse={
+                DataCategory.MACRO: 20.0,
+                DataCategory.TECHNICAL: 4.0,
+            },
+        )
+        imp = res.improvements()
+        assert imp[DataCategory.MACRO] == pytest.approx(900.0)
+        assert imp[DataCategory.TECHNICAL] == pytest.approx(100.0)
+        assert res.mean_improvement() == pytest.approx(500.0)
+
+    def test_mean_improvement_empty_rejected(self):
+        res = ScenarioImprovement(period="2017", window=7, diverse_mse=1.0)
+        with pytest.raises(ValueError):
+            res.mean_improvement()
+
+
+class TestAggregations:
+    @pytest.fixture
+    def fake_results(self):
+        return [
+            ScenarioImprovement(
+                "2017", 7, 1.0,
+                {DataCategory.MACRO: 3.0, DataCategory.TECHNICAL: 2.0},
+            ),
+            ScenarioImprovement(
+                "2017", 90, 1.0,
+                {DataCategory.MACRO: 5.0, DataCategory.TECHNICAL: 1.0},
+            ),
+            ScenarioImprovement(
+                "2019", 7, 1.0, {DataCategory.MACRO: 2.0},
+            ),
+        ]
+
+    def test_average_by_window(self, fake_results):
+        by_window = average_by_window(fake_results, "2017")
+        assert set(by_window) == {7, 90}
+        assert by_window[7] == pytest.approx((200.0 + 100.0) / 2)
+        assert by_window[90] == pytest.approx((400.0 + 0.0) / 2)
+
+    def test_average_by_category(self, fake_results):
+        by_cat = average_by_category(fake_results, "2017")
+        assert by_cat[DataCategory.MACRO] == pytest.approx(
+            (200.0 + 400.0) / 2
+        )
+        assert by_cat[DataCategory.TECHNICAL] == pytest.approx(50.0)
+
+    def test_overall(self, fake_results):
+        assert overall_average(fake_results, "2019") == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            overall_average(fake_results, "2030")
+
+
+class TestConfig:
+    def test_default_grids_by_model(self):
+        assert "max_features" in ImprovementConfig(model="rf").resolved_grid()
+        assert "learning_rate" in ImprovementConfig(
+            model="gb"
+        ).resolved_grid()
+
+    def test_custom_grid_wins(self):
+        cfg = ImprovementConfig(model="rf", param_grid={"max_depth": [3]})
+        assert cfg.resolved_grid() == {"max_depth": [3]}
+
+    def test_estimator_families(self):
+        from repro.ml import (
+            GradientBoostingRegressor,
+            MLPRegressor,
+            RandomForestRegressor,
+            StackingRegressor,
+        )
+
+        assert isinstance(
+            ImprovementConfig(model="rf").make_estimator(),
+            RandomForestRegressor,
+        )
+        assert isinstance(
+            ImprovementConfig(model="gb").make_estimator(),
+            GradientBoostingRegressor,
+        )
+        assert isinstance(
+            ImprovementConfig(model="mlp").make_estimator(),
+            MLPRegressor,
+        )
+        assert isinstance(
+            ImprovementConfig(model="stack").make_estimator(),
+            StackingRegressor,
+        )
+        with pytest.raises(ValueError):
+            ImprovementConfig(model="svm").make_estimator()
+        with pytest.raises(ValueError):
+            ImprovementConfig(model="svm").resolved_grid()
+
+    def test_stack_family_evaluates(self, scenario_2017_7):
+        sub_names = scenario_2017_7.feature_names[:8]
+        cfg = ImprovementConfig(model="stack",
+                                param_grid={"cv_folds": [2]},
+                                cv_folds=2)
+        mse = evaluate_feature_set(scenario_2017_7, sub_names, cfg)
+        assert mse > 0

@@ -1,0 +1,90 @@
+"""Unit tests for the table renderers."""
+
+from repro.categories import DataCategory
+from repro.core.reporting import (
+    format_table,
+    render_contributions,
+    render_improvement_by_category,
+    render_improvement_by_window,
+    render_series,
+    render_table1,
+    render_top_features,
+    render_unique_features,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_non_string_cells(self):
+        out = format_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestRenderers:
+    def test_table1(self):
+        out = render_table1({"2017_1": 79, "2019_180": 90})
+        assert "2017_1" in out and "79" in out
+        assert "Table 1" in out
+
+    def test_contributions_label_and_values(self):
+        per_window = {
+            7: {DataCategory.TECHNICAL: 0.5},
+            90: {DataCategory.TECHNICAL: 0.25,
+                 DataCategory.MACRO: 0.125},
+        }
+        out = render_contributions(per_window, "2017")
+        assert "Figure 3" in out
+        assert "Technical Indicators" in out
+        assert "0.500" in out and "0.250" in out
+        assert "Macroeconomic Indicators" in out
+        # macro absent at w=7 renders as 0.000
+        assert "0.000" in out
+
+    def test_contributions_figure4_for_2019(self):
+        out = render_contributions({7: {}}, "2019")
+        assert "Figure 4" in out
+
+    def test_top_features_uneven_columns(self):
+        out = render_top_features(
+            {"Short-term": ["a", "b", "c"], "Long-term": ["x"]}, "2017"
+        )
+        assert "Table 3" in out
+        assert out.count("\n") >= 4
+
+    def test_unique_features(self):
+        out = render_unique_features(
+            {"Short-term": ["s1"], "Long-term": ["l1", "l2"]}, "2019"
+        )
+        assert "Table 4" in out and "l2" in out
+
+    def test_improvement_by_window(self):
+        out = render_improvement_by_window(
+            {"2017": {1: 855.87, 7: 189.08}, "2019": {1: 794.71}}
+        )
+        assert "855.87%" in out
+        assert "-" in out  # missing cell for 2019 w=7
+
+    def test_improvement_by_category(self):
+        out = render_improvement_by_category(
+            {"2017": {DataCategory.ONCHAIN_BTC: 12.09},
+             "2019": {DataCategory.ONCHAIN_BTC: 17.51,
+                      DataCategory.ONCHAIN_USDC: 378.52}}
+        )
+        assert "12.09%" in out and "378.52%" in out
+        assert "On-chain Metrics (USDC)" in out
+
+    def test_series(self):
+        out = render_series("crypto100", [1.0, 2.0, 3.0, 4.0])
+        assert "n=4" in out and "first=1" in out and "last=4" in out
+
+    def test_series_empty(self):
+        assert "(empty)" in render_series("x", [])

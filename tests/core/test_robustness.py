@@ -1,0 +1,90 @@
+"""Tests for FRA stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.fra import FRAConfig
+from repro.core.robustness import StabilityReport, fra_stability, jaccard
+
+TINY = FRAConfig(
+    target_size=5,
+    rf_params={"n_estimators": 4, "max_depth": 4, "max_features": "sqrt"},
+    gb_params={"n_estimators": 6, "max_depth": 2, "learning_rate": 0.25},
+    pfi_repeats=1,
+    pfi_max_rows=100,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(30)
+    n = 300
+    X = rng.normal(size=(n, 15))
+    y = 5 * X[:, 0] + 4 * X[:, 1] - 3 * X[:, 2] + 0.2 * rng.normal(size=n)
+    names = [f"f{i:02d}" for i in range(15)]
+    return X, y, names
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(
+            2 / 4
+        )
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_accepts_lists(self):
+        assert jaccard(["a", "a", "b"], ["b", "a"]) == 1.0
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def report(self, problem):
+        X, y, names = problem
+        return fra_stability(X, y, names, TINY, n_seeds=3)
+
+    def test_report_shape(self, report, problem):
+        _, _, names = problem
+        assert isinstance(report, StabilityReport)
+        assert report.n_runs == 3
+        assert set(report.selection_frequency) == set(names)
+        assert 0.0 <= report.mean_jaccard <= 1.0
+        assert report.mean_size <= TINY.target_size
+
+    def test_informative_features_in_stable_core(self, report):
+        core = report.core_features(threshold=1.0)
+        assert {"f00", "f01", "f02"} <= set(core)
+
+    def test_frequencies_are_valid_fractions(self, report):
+        for freq in report.selection_frequency.values():
+            assert freq in (0.0, 1 / 3, 2 / 3, 1.0)
+
+    def test_strong_signal_gives_high_jaccard(self, report):
+        """With three dominant features out of 15, selections must agree
+        substantially across seeds."""
+        assert report.mean_jaccard > 0.4
+
+    def test_core_sorted_by_frequency(self, report):
+        core = report.core_features(threshold=0.3)
+        freqs = [report.selection_frequency[name] for name in core]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_unstable_disjoint_from_core(self, report):
+        core = set(report.core_features(0.8))
+        unstable = set(report.unstable_features(0.2, 0.8))
+        assert not core & unstable
+
+    def test_validation(self, problem):
+        X, y, names = problem
+        with pytest.raises(ValueError):
+            fra_stability(X, y, names, TINY, n_seeds=1)
+        with pytest.raises(ValueError):
+            StabilityReport(n_runs=2).core_features(threshold=0.0)

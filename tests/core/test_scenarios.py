@@ -1,0 +1,116 @@
+"""Unit tests for repro.core.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.categories import DataCategory
+from repro.core.crypto100 import crypto100_index
+from repro.core.scenarios import (
+    PERIODS,
+    build_all_scenarios,
+    build_scenario,
+    scenario_key,
+)
+
+
+class TestScenarioConstruction:
+    def test_key_format(self):
+        assert scenario_key("2017", 30) == "2017_30"
+
+    def test_supervised_shapes(self, scenario_2017_7):
+        sc = scenario_2017_7
+        assert sc.X.shape == (sc.n_samples, sc.n_features)
+        assert sc.y.shape == (sc.n_samples,)
+        assert len(sc.feature_names) == sc.n_features
+
+    def test_no_nans_in_supervised_data(self, scenario_2017_7):
+        assert not np.isnan(scenario_2017_7.X).any()
+        assert not np.isnan(scenario_2017_7.y).any()
+
+    def test_target_is_future_crypto100(self, raw, scenario_2017_7):
+        """y[i] must equal the Crypto100 price `window` days after row i."""
+        sc = scenario_2017_7
+        index_frame = crypto100_index(raw.universe)
+        start, end = PERIODS["2017"]
+        sliced = index_frame.loc_range(start, end)["crypto100"]
+        assert np.allclose(sc.y, sliced[sc.window:])
+
+    def test_window_shrinks_samples(self, raw):
+        w7 = build_scenario(raw, "2017", 7)
+        w90 = build_scenario(raw, "2017", 90)
+        assert w7.n_samples - w90.n_samples == 83
+
+    def test_usdc_absent_from_2017(self, scenario_2017_7):
+        assert scenario_2017_7.columns_in(DataCategory.ONCHAIN_USDC) == []
+
+    def test_usdc_present_in_2019(self, scenario_2019_90):
+        assert len(
+            scenario_2019_90.columns_in(DataCategory.ONCHAIN_USDC)
+        ) > 30
+
+    def test_2019_has_more_candidates(self, scenario_2017_7,
+                                      scenario_2019_90):
+        """Matches the paper: 283 metrics in set 2019 vs 192 in set 2017."""
+        assert scenario_2019_90.n_features > scenario_2017_7.n_features
+
+    def test_unknown_period(self, raw):
+        with pytest.raises(ValueError):
+            build_scenario(raw, "2021", 7)
+
+    def test_bad_window(self, raw):
+        with pytest.raises(ValueError):
+            build_scenario(raw, "2017", 0)
+
+    def test_oversized_window(self, raw):
+        with pytest.raises(ValueError):
+            build_scenario(raw, "2019", 10**6)
+
+
+class TestScenarioMethods:
+    def test_select_features_subsets_columns(self, scenario_2017_7):
+        names = scenario_2017_7.feature_names[:5]
+        sub = scenario_2017_7.select_features(names)
+        assert sub.feature_names == names
+        assert sub.X.shape == (scenario_2017_7.n_samples, 5)
+        assert np.array_equal(sub.y, scenario_2017_7.y)
+
+    def test_select_features_respects_order(self, scenario_2017_7):
+        names = list(reversed(scenario_2017_7.feature_names[:4]))
+        sub = scenario_2017_7.select_features(names)
+        for j, name in enumerate(names):
+            col = scenario_2017_7.feature_names.index(name)
+            assert np.array_equal(sub.X[:, j], scenario_2017_7.X[:, col])
+
+    def test_select_unknown_feature(self, scenario_2017_7):
+        with pytest.raises(ValueError):
+            scenario_2017_7.select_features(["not_a_feature"])
+
+    def test_split_chronological(self, scenario_2017_7):
+        X_tr, X_te, y_tr, y_te = scenario_2017_7.split(0.2)
+        n = scenario_2017_7.n_samples
+        assert len(X_tr) + len(X_te) == n
+        assert len(X_te) == pytest.approx(0.2 * n, abs=1)
+        assert np.array_equal(X_tr, scenario_2017_7.X[:len(X_tr)])
+
+    def test_split_bad_frac(self, scenario_2017_7):
+        with pytest.raises(ValueError):
+            scenario_2017_7.split(0.0)
+        with pytest.raises(ValueError):
+            scenario_2017_7.split(1.0)
+
+    def test_columns_in_partition(self, scenario_2019_90):
+        total = sum(
+            len(scenario_2019_90.columns_in(c)) for c in DataCategory
+        )
+        assert total == scenario_2019_90.n_features
+
+
+class TestBuildAll:
+    def test_all_keys_present(self, raw):
+        scenarios = build_all_scenarios(raw, windows=(7, 90))
+        assert set(scenarios) == {"2017_7", "2017_90", "2019_7", "2019_90"}
+
+    def test_each_key_matches_scenario(self, raw):
+        scenarios = build_all_scenarios(raw, windows=(7,))
+        for key, sc in scenarios.items():
+            assert sc.key == key

@@ -1,0 +1,114 @@
+"""Unit tests for SHAP ranking and final-vector selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.fra import FRAConfig, FRAResult
+from repro.core.selection import (
+    SHAPConfig,
+    select_final_features,
+    shap_ranking,
+)
+
+TINY_FRA = FRAConfig(
+    target_size=6,
+    rf_params={"n_estimators": 5, "max_depth": 5, "max_features": "sqrt"},
+    gb_params={"n_estimators": 8, "max_depth": 3, "learning_rate": 0.2},
+    pfi_repeats=1,
+    pfi_max_rows=120,
+)
+TINY_SHAP = SHAPConfig(
+    gb_params={"n_estimators": 8, "max_depth": 3, "learning_rate": 0.2},
+    max_rows=40,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(21)
+    n = 300
+    X = rng.normal(size=(n, 12))
+    y = 5 * X[:, 0] + 3 * X[:, 1] + 0.1 * rng.normal(size=n)
+    names = [f"f{i:02d}" for i in range(12)]
+    return X, y, names
+
+
+class TestShapRanking:
+    def test_returns_all_names(self, problem):
+        X, y, names = problem
+        order = shap_ranking(X, y, names, TINY_SHAP)
+        assert sorted(order) == sorted(names)
+
+    def test_informative_first(self, problem):
+        X, y, names = problem
+        order = shap_ranking(X, y, names, TINY_SHAP)
+        assert set(order[:2]) == {"f00", "f01"}
+
+    def test_deterministic(self, problem):
+        X, y, names = problem
+        assert shap_ranking(X, y, names, TINY_SHAP) == shap_ranking(
+            X, y, names, TINY_SHAP
+        )
+
+    def test_width_mismatch(self, problem):
+        X, y, names = problem
+        with pytest.raises(ValueError):
+            shap_ranking(X, y, names[:-1], TINY_SHAP)
+
+
+class TestFinalSelection:
+    def test_union_semantics(self, problem):
+        X, y, names = problem
+        result = select_final_features(
+            X, y, names, fra_config=TINY_FRA, shap_config=TINY_SHAP,
+            top_k=4,
+        )
+        fra_top = set(result.fra.selected[:4])
+        shap_top = set(result.shap_order[:4])
+        assert set(result.final_features) == fra_top | shap_top
+
+    def test_fra_order_first(self, problem):
+        X, y, names = problem
+        result = select_final_features(
+            X, y, names, fra_config=TINY_FRA, shap_config=TINY_SHAP,
+            top_k=4,
+        )
+        k = min(4, len(result.fra.selected))
+        assert result.final_features[:k] == result.fra.selected[:k]
+
+    def test_no_duplicates(self, problem):
+        X, y, names = problem
+        result = select_final_features(
+            X, y, names, fra_config=TINY_FRA, shap_config=TINY_SHAP,
+            top_k=6,
+        )
+        assert len(result.final_features) == len(set(result.final_features))
+
+    def test_overlap_bounds(self, problem):
+        X, y, names = problem
+        result = select_final_features(
+            X, y, names, fra_config=TINY_FRA, shap_config=TINY_SHAP,
+        )
+        assert 0 <= result.overlap_top100 <= len(result.fra.selected)
+
+    def test_informative_in_final(self, problem):
+        X, y, names = problem
+        result = select_final_features(
+            X, y, names, fra_config=TINY_FRA, shap_config=TINY_SHAP,
+            top_k=3,
+        )
+        assert {"f00", "f01"} <= set(result.final_features)
+
+    def test_reuses_precomputed_fra(self, problem):
+        X, y, names = problem
+        canned = FRAResult(
+            selected=["f00", "f01"],
+            importances={"f00": 2.0, "f01": 1.0},
+            history=[],
+        )
+        result = select_final_features(
+            X, y, names, shap_config=TINY_SHAP, top_k=2,
+            fra_result=canned,
+        )
+        assert result.fra is canned
+        assert "f00" in result.final_features

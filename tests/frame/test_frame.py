@@ -1,0 +1,214 @@
+"""Unit tests for repro.frame.frame.Frame."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DateIndex, Frame, date_range
+
+
+@pytest.fixture
+def idx():
+    return date_range("2017-01-01", periods=5)
+
+
+@pytest.fixture
+def frame(idx):
+    return Frame(idx, {"a": np.arange(5.0), "b": np.arange(5.0) * 2})
+
+
+class TestConstruction:
+    def test_shape(self, frame):
+        assert frame.shape == (5, 2)
+        assert frame.n_rows == 5
+        assert frame.n_cols == 2
+        assert len(frame) == 5
+
+    def test_columns_order_preserved(self, idx):
+        f = Frame(idx, {"z": np.zeros(5), "a": np.zeros(5), "m": np.zeros(5)})
+        assert f.columns == ["z", "a", "m"]
+
+    def test_length_mismatch(self, idx):
+        with pytest.raises(ValueError):
+            Frame(idx, {"a": np.zeros(4)})
+
+    def test_2d_column_rejected(self, idx):
+        with pytest.raises(ValueError):
+            Frame(idx, {"a": np.zeros((5, 2))})
+
+    def test_non_dateindex_rejected(self):
+        with pytest.raises(TypeError):
+            Frame([1, 2, 3], {"a": [1, 2, 3]})
+
+    def test_values_coerced_to_float(self, idx):
+        f = Frame(idx, {"a": [1, 2, 3, 4, 5]})
+        assert f["a"].dtype == np.float64
+
+    def test_column_copied(self, idx):
+        src = np.arange(5.0)
+        f = Frame(idx, {"a": src})
+        src[0] = 99.0
+        assert f["a"][0] == 0.0
+
+    def test_column_readonly(self, frame):
+        with pytest.raises(ValueError):
+            frame["a"][0] = 99.0
+
+    def test_from_matrix(self, idx):
+        m = np.arange(10.0).reshape(5, 2)
+        f = Frame.from_matrix(idx, m, ["x", "y"])
+        assert f["x"].tolist() == [0, 2, 4, 6, 8]
+        assert f["y"].tolist() == [1, 3, 5, 7, 9]
+
+    def test_from_matrix_width_mismatch(self, idx):
+        with pytest.raises(ValueError):
+            Frame.from_matrix(idx, np.zeros((5, 2)), ["x"])
+
+    def test_empty(self, idx):
+        f = Frame.empty(idx)
+        assert f.shape == (5, 0)
+        assert f.to_matrix().shape == (5, 0)
+
+
+class TestColumnOps:
+    def test_getitem(self, frame):
+        assert frame["b"].tolist() == [0, 2, 4, 6, 8]
+
+    def test_getitem_missing(self, frame):
+        with pytest.raises(KeyError):
+            frame["zzz"]
+
+    def test_contains(self, frame):
+        assert "a" in frame
+        assert "c" not in frame
+
+    def test_get_default(self, frame):
+        assert frame.get("zzz") is None
+
+    def test_select_reorders(self, frame):
+        sub = frame.select(["b", "a"])
+        assert sub.columns == ["b", "a"]
+
+    def test_select_missing(self, frame):
+        with pytest.raises(KeyError):
+            frame.select(["a", "nope"])
+
+    def test_drop(self, frame):
+        assert frame.drop(["a"]).columns == ["b"]
+
+    def test_drop_missing(self, frame):
+        with pytest.raises(KeyError):
+            frame.drop(["nope"])
+
+    def test_rename(self, frame):
+        f = frame.rename({"a": "alpha"})
+        assert f.columns == ["alpha", "b"]
+        assert f["alpha"].tolist() == frame["a"].tolist()
+
+    def test_rename_collision(self, frame):
+        with pytest.raises(ValueError):
+            frame.rename({"a": "b"})
+
+    def test_with_column_add(self, frame, idx):
+        f = frame.with_column("c", np.ones(5))
+        assert f.columns == ["a", "b", "c"]
+        assert frame.n_cols == 2  # original untouched
+
+    def test_with_column_replace(self, frame):
+        f = frame.with_column("a", np.ones(5))
+        assert f["a"].tolist() == [1] * 5
+        assert f.columns == ["a", "b"]
+
+    def test_with_prefix(self, frame):
+        f = frame.with_prefix("usdc_")
+        assert f.columns == ["usdc_a", "usdc_b"]
+
+
+class TestRowOps:
+    def test_iloc_slice(self, frame):
+        sub = frame.iloc(slice(1, 3))
+        assert sub.n_rows == 2
+        assert sub["a"].tolist() == [1, 2]
+        assert sub.index.isoformat() == ["2017-01-02", "2017-01-03"]
+
+    def test_iloc_bool_mask(self, frame):
+        sub = frame.iloc(frame["a"] > 2)
+        assert sub["a"].tolist() == [3, 4]
+
+    def test_iloc_int_array(self, frame):
+        sub = frame.iloc(np.array([0, 4]))
+        assert sub["a"].tolist() == [0, 4]
+
+    def test_loc_range(self, frame):
+        sub = frame.loc_range("2017-01-02", "2017-01-04")
+        assert sub["a"].tolist() == [1, 2, 3]
+
+    def test_loc_range_open_ended(self, frame):
+        assert frame.loc_range(start="2017-01-04")["a"].tolist() == [3, 4]
+        assert frame.loc_range(end="2017-01-02")["a"].tolist() == [0, 1]
+
+    def test_head_tail(self, frame):
+        assert frame.head(2)["a"].tolist() == [0, 1]
+        assert frame.tail(2)["a"].tolist() == [3, 4]
+        assert frame.tail(99).n_rows == 5
+
+
+class TestReindex:
+    def test_reindex_superset(self, frame):
+        wider = date_range("2016-12-30", periods=9)
+        f = frame.reindex(wider)
+        assert f.n_rows == 9
+        assert np.isnan(f["a"][0]) and np.isnan(f["a"][1])
+        assert f["a"][2] == 0.0
+
+    def test_reindex_subset(self, frame):
+        narrow = date_range("2017-01-02", periods=2)
+        f = frame.reindex(narrow)
+        assert f["a"].tolist() == [1, 2]
+
+    def test_reindex_disjoint(self, frame):
+        other = date_range("2020-01-01", periods=3)
+        f = frame.reindex(other)
+        assert np.isnan(f["a"]).all()
+
+
+class TestConversionAndStats:
+    def test_to_matrix(self, frame):
+        m = frame.to_matrix()
+        assert m.shape == (5, 2)
+        assert m[:, 1].tolist() == [0, 2, 4, 6, 8]
+
+    def test_to_matrix_subset(self, frame):
+        m = frame.to_matrix(["b"])
+        assert m.shape == (5, 1)
+
+    def test_to_dict(self, frame):
+        d = frame.to_dict()
+        assert set(d) == {"a", "b"}
+
+    def test_map_columns(self, frame):
+        f = frame.map_columns(lambda col: col + 1)
+        assert f["a"].tolist() == [1, 2, 3, 4, 5]
+
+    def test_nan_fraction(self, idx):
+        f = Frame(idx, {"a": [1, np.nan, 3, np.nan, 5]})
+        assert f.nan_fraction()["a"] == pytest.approx(0.4)
+
+    def test_summary(self, frame):
+        s = frame.summary()
+        assert s["a"]["mean"] == pytest.approx(2.0)
+        assert s["b"]["max"] == pytest.approx(8.0)
+
+    def test_summary_all_nan(self, idx):
+        f = Frame(idx, {"a": [np.nan] * 5})
+        assert np.isnan(f.summary()["a"]["mean"])
+
+    def test_equality(self, frame, idx):
+        same = Frame(idx, {"a": np.arange(5.0), "b": np.arange(5.0) * 2})
+        assert frame == same
+        assert frame != same.rename({"a": "x"})
+        assert frame != same.with_column("a", np.zeros(5))
+
+    def test_equality_with_nans(self, idx):
+        a = Frame(idx, {"a": [1, np.nan, 3, 4, 5]})
+        b = Frame(idx, {"a": [1, np.nan, 3, 4, 5]})
+        assert a == b

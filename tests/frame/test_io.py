@@ -1,0 +1,82 @@
+"""Unit tests for repro.frame.io CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame, date_range, read_csv, write_csv
+
+
+@pytest.fixture
+def frame():
+    idx = date_range("2019-01-01", periods=4)
+    return Frame(
+        idx,
+        {
+            "price": [100.0, 101.5, np.nan, 103.25],
+            "volume": [1e9, 2e9, 3e9, np.nan],
+        },
+    )
+
+
+class TestRoundTrip:
+    def test_identity(self, frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(frame, path)
+        again = read_csv(path)
+        assert again == frame
+
+    def test_preserves_exact_floats(self, tmp_path):
+        idx = date_range("2019-01-01", periods=1)
+        f = Frame(idx, {"x": [0.1 + 0.2]})
+        path = tmp_path / "f.csv"
+        write_csv(f, path)
+        assert read_csv(path)["x"][0] == 0.1 + 0.2
+
+    def test_nan_round_trips_as_empty_field(self, frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(frame, path)
+        text = path.read_text()
+        assert "nan" not in text.lower().replace("nan,", "")
+        again = read_csv(path)
+        assert np.isnan(again["price"][2])
+
+    def test_header(self, frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(frame, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "date,price,volume"
+
+    def test_empty_frame(self, tmp_path):
+        f = Frame.empty(date_range("2019-01-01", periods=0))
+        path = tmp_path / "empty.csv"
+        write_csv(f, path)
+        again = read_csv(path)
+        assert again.shape == (0, 0)
+
+    def test_no_rows_with_columns(self, tmp_path):
+        f = Frame(date_range("2019-01-01", periods=0), {"a": []})
+        path = tmp_path / "norows.csv"
+        write_csv(f, path)
+        again = read_csv(path)
+        assert again.columns == ["a"]
+        assert again.n_rows == 0
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("date,a\n2019-01-01,1.0,extra\n")
+        with pytest.raises(ValueError):
+            read_csv(path)

@@ -1,0 +1,139 @@
+"""Unit tests for repro.frame.missing."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    Frame,
+    backward_fill,
+    date_range,
+    fill_frame,
+    forward_fill,
+    interpolate_linear,
+    leading_nan_count,
+    longest_flat_run,
+    longest_nan_run,
+)
+
+NAN = np.nan
+
+
+class TestInterpolate:
+    def test_bridges_interior_gap(self):
+        out = interpolate_linear(np.array([1.0, NAN, 3.0]))
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_multi_point_gap(self):
+        out = interpolate_linear(np.array([0.0, NAN, NAN, NAN, 4.0]))
+        assert out.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_keeps_leading_trailing(self):
+        out = interpolate_linear(np.array([NAN, 1.0, NAN, 3.0, NAN]))
+        assert np.isnan(out[0]) and np.isnan(out[-1])
+        assert out[2] == 2.0
+
+    def test_all_nan_unchanged(self):
+        out = interpolate_linear(np.array([NAN, NAN]))
+        assert np.isnan(out).all()
+
+    def test_no_nan_identity(self):
+        src = np.array([5.0, 6.0, 7.0])
+        assert interpolate_linear(src).tolist() == src.tolist()
+
+    def test_does_not_mutate_input(self):
+        src = np.array([1.0, NAN, 3.0])
+        interpolate_linear(src)
+        assert np.isnan(src[1])
+
+    def test_empty(self):
+        assert interpolate_linear(np.array([])).size == 0
+
+
+class TestFills:
+    def test_forward_fill(self):
+        out = forward_fill(np.array([1.0, NAN, NAN, 4.0]))
+        assert out.tolist() == [1.0, 1.0, 1.0, 4.0]
+
+    def test_forward_fill_leading_nan_stays(self):
+        out = forward_fill(np.array([NAN, 2.0, NAN]))
+        assert np.isnan(out[0])
+        assert out[2] == 2.0
+
+    def test_forward_fill_limit(self):
+        out = forward_fill(np.array([1.0, NAN, NAN, NAN]), limit=2)
+        assert out[1] == 1.0 and out[2] == 1.0
+        assert np.isnan(out[3])
+
+    def test_backward_fill(self):
+        out = backward_fill(np.array([NAN, NAN, 3.0]))
+        assert out.tolist() == [3.0, 3.0, 3.0]
+
+    def test_backward_fill_trailing_nan_stays(self):
+        out = backward_fill(np.array([1.0, NAN]))
+        assert np.isnan(out[1])
+
+
+class TestRunStatistics:
+    def test_longest_nan_run(self):
+        arr = np.array([1, NAN, NAN, 3, NAN, NAN, NAN, 7.0])
+        assert longest_nan_run(arr) == 3
+
+    def test_longest_nan_run_none(self):
+        assert longest_nan_run(np.array([1.0, 2.0])) == 0
+
+    def test_longest_nan_run_all(self):
+        assert longest_nan_run(np.array([NAN, NAN])) == 2
+
+    def test_longest_nan_run_empty(self):
+        assert longest_nan_run(np.array([])) == 0
+
+    def test_longest_flat_run(self):
+        arr = np.array([1, 1, 1, 2, 3, 3.0])
+        assert longest_flat_run(arr) == 3
+
+    def test_flat_run_single_value(self):
+        assert longest_flat_run(np.array([5.0])) == 1
+
+    def test_flat_run_all_distinct(self):
+        assert longest_flat_run(np.array([1.0, 2.0, 3.0])) == 1
+
+    def test_flat_run_nan_breaks(self):
+        arr = np.array([1, 1, NAN, 1, 1, 1.0])
+        assert longest_flat_run(arr) == 3
+
+    def test_flat_run_tolerance(self):
+        arr = np.array([1.0, 1.0001, 1.0002, 2.0])
+        assert longest_flat_run(arr, tol=1e-3) == 3
+        assert longest_flat_run(arr, tol=0.0) == 1
+
+    def test_flat_run_empty(self):
+        assert longest_flat_run(np.array([])) == 0
+
+    def test_leading_nan_count(self):
+        assert leading_nan_count(np.array([NAN, NAN, 1.0])) == 2
+        assert leading_nan_count(np.array([1.0, NAN])) == 0
+        assert leading_nan_count(np.array([NAN, NAN])) == 2
+
+
+class TestFillFrame:
+    def test_interpolate_frame(self):
+        idx = date_range("2017-01-01", periods=3)
+        f = Frame(idx, {"a": [1.0, NAN, 3.0], "b": [NAN, 2.0, NAN]})
+        filled = fill_frame(f)
+        assert filled["a"].tolist() == [1.0, 2.0, 3.0]
+        assert np.isnan(filled["b"][0]) and np.isnan(filled["b"][2])
+
+    def test_ffill_method(self):
+        idx = date_range("2017-01-01", periods=3)
+        f = Frame(idx, {"a": [1.0, NAN, NAN]})
+        assert fill_frame(f, "ffill")["a"].tolist() == [1.0, 1.0, 1.0]
+
+    def test_bfill_method(self):
+        idx = date_range("2017-01-01", periods=3)
+        f = Frame(idx, {"a": [NAN, NAN, 3.0]})
+        assert fill_frame(f, "bfill")["a"].tolist() == [3.0, 3.0, 3.0]
+
+    def test_unknown_method(self):
+        idx = date_range("2017-01-01", periods=1)
+        with pytest.raises(ValueError):
+            fill_frame(Frame(idx, {"a": [1.0]}), "magic")

@@ -1,0 +1,171 @@
+"""Unit tests for repro.frame.ops."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    Frame,
+    concat_columns,
+    date_range,
+    inner_join,
+    log_returns,
+    outer_join,
+    pct_change,
+    rolling_apply,
+    rolling_max,
+    rolling_mean,
+    rolling_min,
+    rolling_std,
+    rolling_sum,
+    shift,
+)
+
+NAN = np.nan
+
+
+@pytest.fixture
+def f1():
+    return Frame(date_range("2017-01-01", periods=4), {"a": [1.0, 2, 3, 4]})
+
+
+@pytest.fixture
+def f2():
+    return Frame(date_range("2017-01-03", periods=4), {"b": [10.0, 20, 30, 40]})
+
+
+class TestJoins:
+    def test_outer_join_union_index(self, f1, f2):
+        j = outer_join(f1, f2)
+        assert j.n_rows == 6
+        assert j.columns == ["a", "b"]
+        assert np.isnan(j["b"][0])
+        assert np.isnan(j["a"][-1])
+        assert j["a"][2] == 3.0 and j["b"][2] == 10.0
+
+    def test_inner_join_intersection(self, f1, f2):
+        j = inner_join(f1, f2)
+        assert j.n_rows == 2
+        assert j["a"].tolist() == [3.0, 4.0]
+        assert j["b"].tolist() == [10.0, 20.0]
+
+    def test_join_duplicate_column_rejected(self, f1):
+        dup = Frame(date_range("2017-01-01", periods=4), {"a": np.zeros(4)})
+        with pytest.raises(ValueError):
+            outer_join(f1, dup)
+
+    def test_join_single_frame_identity(self, f1):
+        assert outer_join(f1) == f1
+        assert inner_join(f1) == f1
+
+    def test_join_no_frames(self):
+        with pytest.raises(ValueError):
+            outer_join()
+        with pytest.raises(ValueError):
+            inner_join()
+
+    def test_concat_columns(self, f1):
+        other = Frame(f1.index, {"c": np.ones(4)})
+        j = concat_columns(f1, other)
+        assert j.columns == ["a", "c"]
+
+    def test_concat_columns_index_mismatch(self, f1, f2):
+        with pytest.raises(ValueError):
+            concat_columns(f1, f2)
+
+    def test_inner_join_disjoint_empty(self, f1):
+        far = Frame(date_range("2020-01-01", periods=2), {"z": [1.0, 2.0]})
+        assert inner_join(f1, far).n_rows == 0
+
+    def test_outer_join_three_frames(self, f1, f2):
+        f3 = Frame(date_range("2017-01-05", periods=1), {"c": [7.0]})
+        j = outer_join(f1, f2, f3)
+        assert j.columns == ["a", "b", "c"]
+        assert j.n_rows == 6
+
+
+class TestShift:
+    def test_positive_shift(self):
+        out = shift(np.array([1.0, 2, 3]), 1)
+        assert np.isnan(out[0])
+        assert out[1:].tolist() == [1.0, 2.0]
+
+    def test_negative_shift(self):
+        out = shift(np.array([1.0, 2, 3]), -1)
+        assert out[:2].tolist() == [2.0, 3.0]
+        assert np.isnan(out[-1])
+
+    def test_zero_shift_copies(self):
+        src = np.array([1.0, 2.0])
+        out = shift(src, 0)
+        assert out.tolist() == src.tolist()
+        out[0] = 9
+        assert src[0] == 1.0
+
+    def test_oversized_shift_all_nan(self):
+        assert np.isnan(shift(np.array([1.0, 2.0]), 5)).all()
+        assert np.isnan(shift(np.array([1.0, 2.0]), -5)).all()
+
+
+class TestReturns:
+    def test_pct_change(self):
+        out = pct_change(np.array([100.0, 110.0, 99.0]))
+        assert np.isnan(out[0])
+        assert out[1] == pytest.approx(0.10)
+        assert out[2] == pytest.approx(-0.10)
+
+    def test_pct_change_periods(self):
+        out = pct_change(np.array([100.0, 0.0, 150.0]), periods=2)
+        assert out[2] == pytest.approx(0.5)
+
+    def test_pct_change_zero_base_nan(self):
+        out = pct_change(np.array([0.0, 5.0]))
+        assert np.isnan(out[1])
+
+    def test_log_returns(self):
+        prices = np.array([100.0, 100.0 * np.e])
+        out = log_returns(prices)
+        assert out[1] == pytest.approx(1.0)
+
+    def test_log_returns_nonpositive_nan(self):
+        out = log_returns(np.array([100.0, -5.0, 100.0]))
+        assert np.isnan(out[1]) and np.isnan(out[2])
+
+
+class TestRolling:
+    def test_rolling_mean_basic(self):
+        out = rolling_mean(np.array([1.0, 2, 3, 4]), 2)
+        assert np.isnan(out[0])
+        assert out[1:].tolist() == [1.5, 2.5, 3.5]
+
+    def test_rolling_window_one_identity(self):
+        src = np.array([3.0, 1.0, 4.0])
+        assert rolling_mean(src, 1).tolist() == src.tolist()
+
+    def test_rolling_sum(self):
+        out = rolling_sum(np.array([1.0, 1, 1, 1]), 3)
+        assert out[2] == 3.0 and out[3] == 3.0
+
+    def test_rolling_min_max(self):
+        src = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        assert rolling_min(src, 3)[2] == 1.0
+        assert rolling_max(src, 3)[4] == 5.0
+
+    def test_rolling_std(self):
+        out = rolling_std(np.array([1.0, 1.0, 1.0]), 2)
+        assert out[1] == 0.0
+
+    def test_rolling_nan_propagates(self):
+        out = rolling_mean(np.array([1.0, NAN, 3.0, 4.0]), 2)
+        assert np.isnan(out[1]) and np.isnan(out[2])
+        assert out[3] == 3.5
+
+    def test_window_longer_than_series(self):
+        assert np.isnan(rolling_mean(np.array([1.0, 2.0]), 5)).all()
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            rolling_apply(np.array([1.0]), 0, np.mean)
+
+    def test_rolling_apply_custom(self):
+        out = rolling_apply(np.array([1.0, 2, 3]), 2, np.median)
+        assert out[2] == 2.5

@@ -1,0 +1,118 @@
+"""Unit tests for repro.frame.validation."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    ColumnRule,
+    Frame,
+    date_range,
+    validate_frame,
+)
+
+NAN = np.nan
+
+
+@pytest.fixture
+def frame():
+    idx = date_range("2020-01-01", periods=5)
+    return Frame(idx, {
+        "price": [100.0, 101.0, 99.0, 102.0, 103.0],
+        "usdc_supply": [1e9, 1.1e9, NAN, 1.2e9, 1.25e9],
+        "sentiment_score": [-0.5, 0.3, 0.0, 2.0, -1.5],
+    })
+
+
+class TestRules:
+    def test_clean_frame_passes(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("price", min_value=0.0, allow_nan=False),
+        ])
+        assert report.ok
+        assert report.n_columns_checked == 1
+
+    def test_min_value_violation(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("sentiment_score", min_value=0.0),
+        ])
+        assert not report.ok
+        assert any("min_value" in i.rule for i in report.issues)
+
+    def test_max_value_violation(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("price", max_value=100.0),
+        ])
+        assert len(report.issues) == 1
+
+    def test_nan_rules(self, frame):
+        strict = validate_frame(frame, [
+            ColumnRule("usdc_*", allow_nan=False),
+        ])
+        assert not strict.ok
+        lenient = validate_frame(frame, [
+            ColumnRule("usdc_*", max_nan_fraction=0.5),
+        ])
+        assert lenient.ok
+        tight = validate_frame(frame, [
+            ColumnRule("usdc_*", max_nan_fraction=0.1),
+        ])
+        assert not tight.ok
+
+    def test_infinite_values_detected(self):
+        idx = date_range("2020-01-01", periods=2)
+        f = Frame(idx, {"x": [1.0, np.inf]})
+        report = validate_frame(f, [ColumnRule("x")])
+        assert any("require_finite" in i.rule for i in report.issues)
+
+    def test_glob_patterns(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("*", min_value=-1e12),
+        ])
+        assert report.n_columns_checked == 3
+
+    def test_unmatched_columns_ignored(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("volume_*", allow_nan=False),
+        ])
+        assert report.ok
+        assert report.n_columns_checked == 0
+
+    def test_multiple_rules_accumulate(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("sentiment_score", min_value=0.0),
+            ColumnRule("sentiment_*", max_value=1.0),
+        ])
+        assert len(report.issues) == 2
+
+    def test_raise_if_failed(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("price", max_value=0.0),
+        ])
+        with pytest.raises(ValueError, match="price"):
+            report.raise_if_failed()
+        # ok report raises nothing
+        validate_frame(frame, []).raise_if_failed()
+
+    def test_issue_str(self, frame):
+        report = validate_frame(frame, [
+            ColumnRule("price", max_value=0.0),
+        ])
+        text = str(report.issues[0])
+        assert "price" in text and "max_value" in text
+
+
+class TestOnGeneratedData:
+    def test_raw_dataset_passes_sanity_rules(self, small_raw):
+        """The simulator's output must satisfy basic physical bounds."""
+        rules = [
+            ColumnRule("SplyCur", min_value=0.0, allow_nan=False),
+            ColumnRule("*_Close", min_value=0.0, allow_nan=False),
+            ColumnRule("fear_greed_index", min_value=0.0,
+                       max_value=100.0, max_nan_fraction=0.9),
+            ColumnRule("fish_pct", min_value=0.0, max_value=1.0),
+            ColumnRule("usdc_SplyCur", min_value=0.0,
+                       max_nan_fraction=0.9),
+        ]
+        report = validate_frame(small_raw.features, rules)
+        assert report.ok, [str(i) for i in report.issues]
+        assert report.n_columns_checked >= 5

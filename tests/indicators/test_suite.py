@@ -1,0 +1,92 @@
+"""Unit tests for the paper's technical-indicator block."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame, date_range
+from repro.indicators import MA_SPANS, technical_indicator_frame
+
+
+@pytest.fixture(scope="module")
+def btc_frame():
+    rng = np.random.default_rng(0)
+    n = 400
+    close = 1000 * np.exp(np.cumsum(rng.normal(0.001, 0.03, n)))
+    open_ = np.concatenate(([close[0]], close[:-1]))
+    spread = np.abs(rng.normal(0, 0.01, n))
+    return Frame(
+        date_range("2017-01-01", periods=n),
+        {
+            "open": open_,
+            "high": np.maximum(open_, close) * (1 + spread),
+            "low": np.minimum(open_, close) * (1 - spread),
+            "close": close,
+            "volume": 1e9 * np.exp(rng.normal(0, 0.2, n)),
+            "market_cap": close * 17e6,
+        },
+    )
+
+
+class TestSuite:
+    def test_paper_feature_names_present(self, btc_frame):
+        frame = technical_indicator_frame(btc_frame)
+        for name in (
+            "EMA100_market-cap", "EMA200_close-price", "EMA14_close-price",
+            "EMA10_market-cap", "SMA_20_close-price", "SMA_10_market-cap",
+            "EMA200_volume", "EMA100_volume", "EMA5_market-cap",
+            "SMA_5_close-price", "EMA30_market-cap",
+        ):
+            assert name in frame, name
+
+    def test_all_ma_spans_covered(self, btc_frame):
+        frame = technical_indicator_frame(btc_frame)
+        for span in MA_SPANS:
+            for var in ("close-price", "market-cap", "volume"):
+                assert f"EMA{span}_{var}" in frame
+
+    def test_momentum_and_volatility_included(self, btc_frame):
+        frame = technical_indicator_frame(btc_frame)
+        for name in ("RSI14_close-price", "MACD_close-price",
+                     "BBup20_close-price", "BBlow20_close-price",
+                     "ROC10_close-price", "StochK14_close-price",
+                     "ATR14_close-price", "Volatility30_close-price"):
+            assert name in frame, name
+
+    def test_block_is_large(self, btc_frame):
+        frame = technical_indicator_frame(btc_frame)
+        assert frame.n_cols >= 50
+
+    def test_index_preserved(self, btc_frame):
+        frame = technical_indicator_frame(btc_frame)
+        assert frame.index == btc_frame.index
+
+    def test_ema_columns_match_direct_computation(self, btc_frame):
+        from repro.indicators import ema
+
+        frame = technical_indicator_frame(btc_frame)
+        direct = ema(btc_frame["close"], 14)
+        assert np.allclose(
+            frame["EMA14_close-price"], direct, equal_nan=True
+        )
+
+    def test_sma_columns_match_direct_computation(self, btc_frame):
+        from repro.indicators import sma
+
+        frame = technical_indicator_frame(btc_frame)
+        direct = sma(btc_frame["market_cap"], 20)
+        assert np.allclose(
+            frame["SMA_20_market-cap"], direct, equal_nan=True
+        )
+
+    def test_missing_column_rejected(self, btc_frame):
+        broken = btc_frame.drop(["volume"])
+        with pytest.raises(ValueError):
+            technical_indicator_frame(broken)
+
+    def test_warmup_nans_bounded(self, btc_frame):
+        """Only rolling indicators have warm-ups; all shorter than 200."""
+        frame = technical_indicator_frame(btc_frame)
+        from repro.frame import leading_nan_count
+
+        for name in frame.columns:
+            assert leading_nan_count(frame[name]) <= 200, name

@@ -1,0 +1,101 @@
+"""Unit tests for repro.ml.forest.RandomForestRegressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestRegressor, mean_squared_error
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(250, 6))
+    y = 2 * X[:, 0] - 3 * X[:, 1] + 0.2 * rng.normal(size=250)
+    return X, y
+
+
+class TestFitPredict:
+    def test_learns_signal(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=15, max_depth=8,
+                                   random_state=0).fit(X, y)
+        assert mean_squared_error(y, rf.predict(X)) < np.var(y) * 0.2
+
+    def test_deterministic_given_seed(self, data):
+        X, y = data
+        a = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self, data):
+        X, y = data
+        a = RandomForestRegressor(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.array_equal(a.predict(X), b.predict(X))
+
+    def test_prediction_is_tree_mean(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=4, max_depth=3,
+                                   random_state=3).fit(X, y)
+        stacked = np.column_stack([t.predict(X) for t in rf.estimators_])
+        assert np.allclose(rf.predict(X), stacked.mean(axis=1))
+
+    def test_no_bootstrap_no_depth_memorises(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=3, bootstrap=False,
+                                   random_state=0).fit(X, y)
+        assert mean_squared_error(y, rf.predict(X)) == pytest.approx(0.0)
+
+    def test_n_estimators_count(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=7, max_depth=2,
+                                   random_state=0).fit(X, y)
+        assert len(rf.estimators_) == 7
+
+
+class TestValidation:
+    def test_bad_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict([[1.0]])
+
+    def test_importances_before_fit(self):
+        with pytest.raises(RuntimeError):
+            _ = RandomForestRegressor().feature_importances_
+
+    def test_wrong_width_predict(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=2, max_depth=2,
+                                   random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            rf.predict(np.zeros((2, 3)))
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=2).fit(np.zeros(5), np.zeros(5))
+
+    def test_params_roundtrip(self):
+        rf = RandomForestRegressor(n_estimators=9, max_depth=4,
+                                   max_features="sqrt")
+        clone = RandomForestRegressor(**rf.get_params())
+        assert clone.get_params() == rf.get_params()
+        with pytest.raises(ValueError):
+            clone.set_params(nonsense=True)
+
+
+class TestImportances:
+    def test_sum_to_one(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=8, max_depth=5,
+                                   random_state=0).fit(X, y)
+        assert rf.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_informative_features_rank_top(self, data):
+        X, y = data
+        rf = RandomForestRegressor(n_estimators=10, max_depth=6,
+                                   random_state=0).fit(X, y)
+        top2 = set(np.argsort(rf.feature_importances_)[-2:])
+        assert top2 == {0, 1}

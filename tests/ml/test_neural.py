@@ -1,0 +1,125 @@
+"""Unit tests for repro.ml.neural.MLPRegressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPRegressor, mean_squared_error
+from repro.ml.model_selection import GridSearchCV, KFold, clone
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 5))
+    y = 3 * X[:, 0] - 2 * X[:, 1] + 1.0 + 0.05 * rng.normal(size=400)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def nonlinear_data():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, size=(500, 2))
+    y = np.sin(2 * X[:, 0]) * np.cos(X[:, 1]) + 0.05 * rng.normal(size=500)
+    return X, y
+
+
+class TestFitPredict:
+    def test_learns_linear_function(self, linear_data):
+        X, y = linear_data
+        model = MLPRegressor(hidden_layer_sizes=(32,), n_epochs=150,
+                             random_state=0).fit(X, y)
+        assert mean_squared_error(y, model.predict(X)) < 0.1 * np.var(y)
+
+    def test_learns_nonlinear_function(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = MLPRegressor(hidden_layer_sizes=(64, 32), n_epochs=300,
+                             random_state=0).fit(X, y)
+        assert mean_squared_error(y, model.predict(X)) < 0.2 * np.var(y)
+
+    def test_beats_mean_baseline(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = MLPRegressor(n_epochs=100, random_state=0).fit(X, y)
+        mse_model = mean_squared_error(y, model.predict(X))
+        assert mse_model < np.var(y)
+
+    def test_loss_decreases(self, linear_data):
+        X, y = linear_data
+        model = MLPRegressor(n_epochs=50, random_state=0).fit(X, y)
+        losses = model.train_losses_
+        assert losses[-1] < losses[0]
+
+    def test_deterministic(self, linear_data):
+        X, y = linear_data
+        a = MLPRegressor(n_epochs=20, random_state=3).fit(X, y)
+        b = MLPRegressor(n_epochs=20, random_state=3).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))
+
+    def test_seed_matters(self, linear_data):
+        X, y = linear_data
+        a = MLPRegressor(n_epochs=20, random_state=3).fit(X, y)
+        b = MLPRegressor(n_epochs=20, random_state=4).fit(X, y)
+        assert not np.allclose(a.predict(X), b.predict(X))
+
+    def test_scale_invariance_of_fit_quality(self):
+        """Internal standardisation: huge-scale targets still learnable."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 3))
+        y = 1e9 * X[:, 0] + 1e7 * rng.normal(size=300)
+        model = MLPRegressor(n_epochs=150, random_state=0).fit(X, y)
+        assert mean_squared_error(y, model.predict(X)) < 0.2 * np.var(y)
+
+    def test_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        model = MLPRegressor(n_epochs=100, random_state=0).fit(
+            X, np.full(50, 5.0)
+        )
+        assert np.allclose(model.predict(X), 5.0, atol=0.15)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_layer_sizes=())
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_layer_sizes=(0,))
+        with pytest.raises(ValueError):
+            MLPRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MLPRegressor(n_epochs=0)
+        with pytest.raises(ValueError):
+            MLPRegressor(batch_size=0)
+        with pytest.raises(ValueError):
+            MLPRegressor(l2=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict([[1.0]])
+
+    def test_shape_validation(self, linear_data):
+        X, y = linear_data
+        model = MLPRegressor(n_epochs=5, random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((3, 99)))
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestProtocol:
+    def test_params_roundtrip(self):
+        model = MLPRegressor(hidden_layer_sizes=(16, 8), n_epochs=7)
+        twin = clone(model)
+        assert twin.get_params() == model.get_params()
+        with pytest.raises(ValueError):
+            twin.set_params(bogus=1)
+
+    def test_grid_search_compatible(self, linear_data):
+        X, y = linear_data
+        gs = GridSearchCV(
+            MLPRegressor(random_state=0),
+            {"hidden_layer_sizes": [(8,), (32,)], "n_epochs": [30]},
+            cv=KFold(3),
+        ).fit(X[:150], y[:150])
+        assert gs.best_params_["hidden_layer_sizes"] in [(8,), (32,)]
+        assert gs.best_estimator_ is not None

@@ -1,0 +1,187 @@
+"""Failure-injection and edge-condition tests for the ML substrate.
+
+Real experiment matrices contain near-constant columns, enormous scale
+differences (market caps ~1e12 next to ratios ~1e-3), heavy ties, and
+wide blocks (more features than samples after slicing). The substrate
+must stay numerically sane through all of it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    GridSearchCV,
+    KFold,
+    RandomForestRegressor,
+    TreeExplainer,
+    mean_squared_error,
+    permutation_importance,
+    target_correlations,
+)
+
+
+class TestScaleExtremes:
+    def test_huge_feature_scales(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([
+            rng.normal(1e12, 1e11, 200),   # market-cap scale
+            rng.normal(0.001, 0.0001, 200),  # ratio scale
+            rng.normal(0, 1, 200),
+        ])
+        y = X[:, 0] / 1e12 + 100 * X[:, 1]
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        pred = tree.predict(X)
+        assert np.isfinite(pred).all()
+        assert mean_squared_error(y, pred) < np.var(y)
+
+    def test_huge_targets(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = 1e15 * X[:, 0]
+        gb = GradientBoostingRegressor(n_estimators=10,
+                                       random_state=0).fit(X, y)
+        assert np.isfinite(gb.predict(X)).all()
+
+    def test_tiny_variance_target(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        y = 1.0 + 1e-12 * rng.normal(size=100)
+        rf = RandomForestRegressor(n_estimators=3,
+                                   random_state=0).fit(X, y)
+        assert np.allclose(rf.predict(X), 1.0)
+
+
+class TestDegenerateShapes:
+    def test_wide_data_more_features_than_samples(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(20, 100))
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        assert mean_squared_error(y, tree.predict(X)) < np.var(y)
+
+    def test_single_feature(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X.ravel() > 0.5).astype(float)
+        rf = RandomForestRegressor(n_estimators=5,
+                                   random_state=0).fit(X, y)
+        assert mean_squared_error(y, rf.predict(X)) < 0.1
+
+    def test_two_samples(self):
+        tree = DecisionTreeRegressor().fit(
+            [[0.0], [1.0]], [0.0, 10.0]
+        )
+        assert tree.predict([[0.0]])[0] == 0.0
+        assert tree.predict([[1.0]])[0] == 10.0
+
+    def test_duplicated_rows(self):
+        X = np.tile(np.arange(5.0).reshape(-1, 1), (10, 1))
+        y = np.tile(np.arange(5.0), 10)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert mean_squared_error(y, tree.predict(X)) == pytest.approx(0.0)
+
+    def test_all_columns_constant(self):
+        X = np.ones((30, 4))
+        y = np.random.default_rng(4).normal(size=30)
+        for model in (
+            DecisionTreeRegressor(),
+            RandomForestRegressor(n_estimators=3, bootstrap=False,
+                                  random_state=0),
+            GradientBoostingRegressor(n_estimators=3, random_state=0),
+        ):
+            model.fit(X, y)
+            assert np.allclose(model.predict(X), y.mean(), atol=1e-9)
+        # bootstrapped forests predict a mean of resample means — close
+        # to, but not exactly, the global mean
+        rf = RandomForestRegressor(n_estimators=3, random_state=0)
+        rf.fit(X, y)
+        assert np.allclose(rf.predict(X), y.mean(), atol=y.std())
+
+
+class TestTiesAndDiscreteness:
+    def test_binary_features(self):
+        rng = np.random.default_rng(5)
+        X = (rng.random((200, 6)) > 0.5).astype(float)
+        y = X[:, 0] * 2 + X[:, 1]
+        gb = GradientBoostingRegressor(n_estimators=30,
+                                       random_state=0).fit(X, y)
+        assert mean_squared_error(y, gb.predict(X)) < 0.1
+
+    def test_threshold_never_equals_upper_value(self):
+        """Splits must route equal values deterministically left."""
+        X = np.array([[1.0], [1.0], [2.0], [2.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        thr = tree.tree_.threshold[0]
+        assert 1.0 <= thr < 2.0
+        assert tree.predict([[1.0]])[0] == 0.0
+        assert tree.predict([[2.0]])[0] == 1.0
+
+    def test_adjacent_float_values(self):
+        """Thresholding between consecutive representable floats."""
+        lo = 1.0
+        hi = np.nextafter(1.0, 2.0)
+        X = np.array([[lo], [lo], [hi], [hi]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        pred = tree.predict(X)
+        assert np.isfinite(pred).all()
+        # either it separates them exactly or returns the pooled mean —
+        # both are acceptable; it must not crash or emit NaN
+        assert set(np.round(pred, 6)) <= {0.0, 0.5, 1.0}
+
+
+class TestDownstreamToolsUnderStress:
+    def test_shap_with_constant_columns(self):
+        rng = np.random.default_rng(6)
+        X = np.column_stack([rng.normal(size=100), np.ones(100)])
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        ex = TreeExplainer(tree)
+        sv = ex.shap_values(X[:5])
+        assert np.allclose(sv[:, 1], 0.0)  # dead feature gets zero credit
+        assert np.allclose(
+            ex.expected_value + sv.sum(axis=1), tree.predict(X[:5])
+        )
+
+    def test_pfi_with_dead_feature(self):
+        rng = np.random.default_rng(7)
+        X = np.column_stack([rng.normal(size=150), np.zeros(150)])
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        pfi = permutation_importance(tree, X, y, random_state=0)
+        assert pfi[1] == 0.0
+
+    def test_correlations_with_inf_free_output(self):
+        X = np.column_stack([
+            np.full(50, 3.0),
+            np.arange(50.0),
+            np.arange(50.0) * -1,
+        ])
+        y = np.arange(50.0)
+        corr = target_correlations(X, y)
+        assert np.isfinite(corr).all()
+        assert corr[0] == 0.0
+        assert corr[1] == pytest.approx(1.0)
+        assert corr[2] == pytest.approx(1.0)  # absolute value
+
+    def test_grid_search_on_tiny_fold_sizes(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(12, 2))
+        y = rng.normal(size=12)
+        gs = GridSearchCV(
+            DecisionTreeRegressor(),
+            {"max_depth": [1, 2]},
+            cv=KFold(3),
+        ).fit(X, y)
+        assert gs.best_params_ is not None
+
+    def test_forest_single_tree(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        rf = RandomForestRegressor(n_estimators=1, bootstrap=False,
+                                   random_state=0).fit(X, y)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(rf.predict(X), tree.predict(X))

@@ -1,0 +1,236 @@
+"""Unit tests for repro.ml.tree.DecisionTreeRegressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeRegressor, mean_squared_error
+from repro.ml.tree import _resolve_max_features
+
+
+@pytest.fixture
+def simple_data():
+    """Step function: y = 0 for x < 0.5, y = 10 for x >= 0.5."""
+    X = np.linspace(0, 1, 40).reshape(-1, 1)
+    y = np.where(X.ravel() < 0.5, 0.0, 10.0)
+    return X, y
+
+
+class TestFitBasics:
+    def test_step_function_exact(self, simple_data):
+        X, y = simple_data
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert mean_squared_error(y, tree.predict(X)) == pytest.approx(0.0)
+
+    def test_threshold_separates(self, simple_data):
+        X, y = simple_data
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        thr = tree.tree_.threshold[0]
+        assert 0.47 < thr < 0.51
+
+    def test_depth_zero_is_mean(self, simple_data):
+        X, y = simple_data
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert tree.tree_.node_count == 1
+        assert tree.predict(X)[0] == pytest.approx(y.mean())
+
+    def test_fully_grown_memorises(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert mean_squared_error(y, tree.predict(X)) == pytest.approx(0.0)
+
+    def test_constant_target_single_node(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        tree = DecisionTreeRegressor().fit(X, np.full(10, 7.0))
+        assert tree.tree_.node_count == 1
+        assert tree.predict(X).tolist() == [7.0] * 10
+
+    def test_constant_feature_no_split(self):
+        X = np.ones((20, 1))
+        y = np.arange(20.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.tree_.node_count == 1
+
+    def test_single_sample(self):
+        tree = DecisionTreeRegressor().fit([[1.0]], [5.0])
+        assert tree.predict([[42.0]])[0] == 5.0
+
+
+class TestConstraints:
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        y = rng.normal(size=200)
+        for depth in (1, 2, 4):
+            tree = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+            assert tree.tree_.max_depth <= depth
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        leaves = tree.tree_.children_left == -1
+        assert tree.tree_.n_node_samples[leaves].min() >= 10
+
+    def test_min_samples_split(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(min_samples_split=50).fit(X, y)
+        internal = tree.tree_.children_left != -1
+        assert tree.tree_.n_node_samples[internal].min() >= 50
+
+    def test_min_impurity_decrease_prunes(self, simple_data):
+        X, y = simple_data
+        # Add a noise feature; a huge threshold should block all splits.
+        big = DecisionTreeRegressor(min_impurity_decrease=1e9).fit(X, y)
+        assert big.tree_.node_count == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_impurity_decrease=-0.1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(reg_lambda=-1.0)
+
+
+class TestMaxFeatures:
+    def test_resolve_specs(self):
+        assert _resolve_max_features(None, 100) == 100
+        assert _resolve_max_features(1.0, 100) == 100
+        assert _resolve_max_features("sqrt", 100) == 10
+        assert _resolve_max_features("log2", 64) == 6
+        assert _resolve_max_features(0.5, 100) == 50
+        assert _resolve_max_features(7, 100) == 7
+        assert _resolve_max_features(200, 100) == 100
+
+    def test_resolve_invalid(self):
+        with pytest.raises(ValueError):
+            _resolve_max_features(0, 10)
+        with pytest.raises(ValueError):
+            _resolve_max_features(1.5, 10)
+        with pytest.raises(ValueError):
+            _resolve_max_features("cube", 10)
+
+    def test_subsampled_features_deterministic_with_seed(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(150, 10))
+        y = X @ rng.normal(size=10)
+        a = DecisionTreeRegressor(max_features="sqrt", random_state=42,
+                                  max_depth=4).fit(X, y)
+        b = DecisionTreeRegressor(max_features="sqrt", random_state=42,
+                                  max_depth=4).fit(X, y)
+        assert np.array_equal(a.tree_.feature, b.tree_.feature)
+        assert np.array_equal(a.tree_.threshold, b.tree_.threshold,
+                              equal_nan=True)
+
+
+class TestRegLambda:
+    def test_lambda_shrinks_leaves(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        plain = DecisionTreeRegressor().fit(X, y)
+        reg = DecisionTreeRegressor(reg_lambda=1.0).fit(X, y)
+        # leaf value = sum/(n + lambda): 10/1 vs 10/2
+        assert plain.predict([[1.0]])[0] == pytest.approx(10.0)
+        assert reg.predict([[1.0]])[0] == pytest.approx(5.0)
+
+    def test_lambda_zero_is_cart(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(100, 4))
+        y = rng.normal(size=100)
+        a = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        b = DecisionTreeRegressor(max_depth=3, reg_lambda=0.0).fit(X, y)
+        assert np.array_equal(a.tree_.feature, b.tree_.feature)
+
+
+class TestPredictAndValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+    def test_wrong_width(self, simple_data):
+        X, y = simple_data
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 2)))
+
+    def test_nan_in_training_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit([[np.nan]], [1.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_apply_returns_leaves(self, simple_data):
+        X, y = simple_data
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        leaves = tree.apply(X)
+        assert set(np.unique(leaves)) == {1, 2}
+
+    def test_get_set_params_roundtrip(self):
+        tree = DecisionTreeRegressor(max_depth=5, min_samples_leaf=3)
+        clone = DecisionTreeRegressor(**tree.get_params())
+        assert clone.get_params() == tree.get_params()
+        clone.set_params(max_depth=2)
+        assert clone.max_depth == 2
+        with pytest.raises(ValueError):
+            clone.set_params(bogus=1)
+
+
+class TestImportances:
+    def test_single_informative_feature(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(300, 5))
+        y = 10 * X[:, 2] + 0.01 * rng.normal(size=300)
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        fi = tree.feature_importances_
+        assert fi.argmax() == 2
+        assert fi.sum() == pytest.approx(1.0)
+
+    def test_no_split_importances_zero(self):
+        X = np.ones((10, 3))
+        tree = DecisionTreeRegressor().fit(X, np.arange(10.0))
+        assert tree.feature_importances_.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestStructure:
+    def test_leaf_count_consistency(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(128, 3))
+        y = rng.normal(size=128)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        t = tree.tree_
+        assert t.n_leaves + np.sum(t.children_left != -1) == t.node_count
+
+    def test_children_sample_counts_sum(self):
+        rng = np.random.default_rng(17)
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        t = DecisionTreeRegressor(max_depth=3).fit(X, y).tree_
+        for node in range(t.node_count):
+            if t.children_left[node] != -1:
+                assert (
+                    t.n_node_samples[t.children_left[node]]
+                    + t.n_node_samples[t.children_right[node]]
+                    == t.n_node_samples[node]
+                )
+
+    def test_duplicate_feature_values_handled(self):
+        # Many ties: splits must still respect strict value ordering.
+        X = np.repeat([0.0, 1.0, 2.0], 10).reshape(-1, 1)
+        y = np.repeat([1.0, 2.0, 3.0], 10)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert mean_squared_error(y, tree.predict(X)) == pytest.approx(0.0)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.portfolio.covariance."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio import (
+    ewma_covariance,
+    sample_covariance,
+    shrinkage_covariance,
+)
+
+
+@pytest.fixture(scope="module")
+def returns():
+    rng = np.random.default_rng(0)
+    factor = rng.normal(0, 0.02, 500)
+    return np.column_stack([
+        factor + rng.normal(0, 0.01, 500),
+        factor + rng.normal(0, 0.01, 500),
+        rng.normal(0, 0.03, 500),
+    ])
+
+
+class TestSample:
+    def test_matches_numpy(self, returns):
+        ours = sample_covariance(returns)
+        theirs = np.cov(returns, rowvar=False)
+        assert np.allclose(ours, theirs)
+
+    def test_symmetric_psd(self, returns):
+        cov = sample_covariance(returns)
+        assert np.allclose(cov, cov.T)
+        assert np.linalg.eigvalsh(cov).min() >= -1e-12
+
+    def test_correlated_assets_detected(self, returns):
+        cov = sample_covariance(returns)
+        corr01 = cov[0, 1] / np.sqrt(cov[0, 0] * cov[1, 1])
+        corr02 = cov[0, 2] / np.sqrt(cov[0, 0] * cov[2, 2])
+        assert corr01 > 0.5
+        assert abs(corr02) < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_covariance(np.zeros(5))
+        with pytest.raises(ValueError):
+            sample_covariance(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            sample_covariance(np.full((5, 2), np.nan))
+
+
+class TestEWMA:
+    def test_reduces_to_roughly_sample_for_huge_halflife(self, returns):
+        ewma = ewma_covariance(returns, halflife=1e6)
+        sample = sample_covariance(returns)
+        assert np.allclose(ewma, sample, rtol=0.05)
+
+    def test_recent_regime_dominates(self):
+        rng = np.random.default_rng(1)
+        calm = rng.normal(0, 0.01, size=(300, 2))
+        wild = rng.normal(0, 0.05, size=(50, 2))
+        returns = np.vstack([calm, wild])
+        fast = ewma_covariance(returns, halflife=10)
+        slow = ewma_covariance(returns, halflife=500)
+        assert fast[0, 0] > slow[0, 0]
+
+    def test_symmetric_psd(self, returns):
+        cov = ewma_covariance(returns, halflife=20)
+        assert np.allclose(cov, cov.T)
+        assert np.linalg.eigvalsh(cov).min() >= -1e-12
+
+    def test_bad_halflife(self, returns):
+        with pytest.raises(ValueError):
+            ewma_covariance(returns, halflife=0.0)
+
+
+class TestShrinkage:
+    def test_extremes(self, returns):
+        none = shrinkage_covariance(returns, shrinkage=0.0)
+        full = shrinkage_covariance(returns, shrinkage=1.0)
+        sample = sample_covariance(returns)
+        assert np.allclose(none, sample)
+        # full shrinkage = scaled identity
+        off_diag = full - np.diag(np.diag(full))
+        assert np.allclose(off_diag, 0.0)
+        assert np.allclose(np.diag(full), np.trace(sample) / 3)
+
+    def test_auto_intensity_in_unit_interval(self, returns):
+        auto = shrinkage_covariance(returns)
+        sample = sample_covariance(returns)
+        target_diag = np.trace(sample) / 3
+        # auto result must lie between the two extremes elementwise trace
+        assert np.trace(auto) == pytest.approx(np.trace(sample), rel=1e-6)
+        # off-diagonals shrink toward zero, never past
+        assert abs(auto[0, 1]) <= abs(sample[0, 1]) + 1e-12
+        del target_diag
+
+    def test_improves_conditioning_when_wide(self):
+        """More assets than days: sample is singular, shrinkage is not."""
+        rng = np.random.default_rng(2)
+        returns = rng.normal(size=(20, 50))
+        sample = sample_covariance(returns)
+        shrunk = shrinkage_covariance(returns)
+        assert np.linalg.eigvalsh(sample).min() < 1e-10
+        assert np.linalg.eigvalsh(shrunk).min() > 1e-8
+
+    def test_bad_intensity(self, returns):
+        with pytest.raises(ValueError):
+            shrinkage_covariance(returns, shrinkage=1.5)

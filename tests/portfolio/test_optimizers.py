@@ -1,0 +1,172 @@
+"""Unit tests for repro.portfolio.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio import (
+    cap_weights,
+    equal_weights,
+    max_sharpe_weights,
+    min_variance_weights,
+    project_to_simplex,
+    risk_parity_weights,
+)
+
+
+def _simplex(w):
+    return (w >= -1e-12).all() and abs(w.sum() - 1.0) < 1e-9
+
+
+class TestSimplexProjection:
+    def test_already_on_simplex_unchanged(self):
+        w = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_to_simplex(w), w)
+
+    def test_output_on_simplex(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            v = rng.normal(0, 5, size=rng.integers(1, 10))
+            assert _simplex(project_to_simplex(v))
+
+    def test_projection_is_closest_point(self):
+        """Check optimality against random simplex points."""
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=4)
+        p = project_to_simplex(v)
+        dist_p = np.sum((v - p) ** 2)
+        for _ in range(200):
+            q = rng.dirichlet(np.ones(4))
+            assert dist_p <= np.sum((v - q) ** 2) + 1e-9
+
+    def test_single_asset(self):
+        assert project_to_simplex(np.array([-5.0])).tolist() == [1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            project_to_simplex(np.array([]))
+
+
+class TestBaselines:
+    def test_equal_weights(self):
+        w = equal_weights(4)
+        assert np.allclose(w, 0.25)
+        with pytest.raises(ValueError):
+            equal_weights(0)
+
+    def test_cap_weights(self):
+        w = cap_weights([60.0, 30.0, 10.0])
+        assert np.allclose(w, [0.6, 0.3, 0.1])
+        with pytest.raises(ValueError):
+            cap_weights([1.0, -1.0])
+        with pytest.raises(ValueError):
+            cap_weights([])
+
+
+class TestMinVariance:
+    def test_two_asset_analytic(self):
+        """Uncorrelated assets: w_i proportional to 1/var_i."""
+        cov = np.diag([0.04, 0.01])
+        w = min_variance_weights(cov)
+        assert _simplex(w)
+        assert w[1] == pytest.approx(0.8, abs=0.01)
+
+    def test_prefers_hedged_combination(self):
+        # strongly anti-correlated pair forms a near-riskless combo
+        cov = np.array([
+            [0.04, -0.036, 0.0],
+            [-0.036, 0.04, 0.0],
+            [0.0, 0.0, 0.04],
+        ])
+        w = min_variance_weights(cov)
+        assert w[0] + w[1] > 0.8
+        var = w @ cov @ w
+        assert var < 0.01
+
+    def test_never_beaten_by_random_portfolios(self):
+        rng = np.random.default_rng(3)
+        A = rng.normal(size=(5, 5))
+        cov = A @ A.T / 5 + 0.01 * np.eye(5)
+        w = min_variance_weights(cov)
+        var_opt = w @ cov @ w
+        for _ in range(300):
+            q = rng.dirichlet(np.ones(5))
+            assert var_opt <= q @ cov @ q + 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_variance_weights(np.zeros((2, 3)))
+        asym = np.array([[1.0, 0.5], [0.2, 1.0]])
+        with pytest.raises(ValueError):
+            min_variance_weights(asym)
+
+
+class TestMaxSharpe:
+    def test_matches_analytic_tangency(self):
+        """Diagonal covariance: tangency weights are proportional to the
+        excess returns (C^-1 mu = mu / sigma^2)."""
+        mu = np.array([0.10, 0.02, 0.02])
+        cov = 0.04 * np.eye(3)
+        w = max_sharpe_weights(mu, cov)
+        assert _simplex(w)
+        analytic = mu / mu.sum()
+        assert np.allclose(w, analytic, atol=0.01)
+
+    def test_diversifies_equal_assets(self):
+        mu = np.array([0.05, 0.05])
+        cov = 0.04 * np.eye(2)
+        w = max_sharpe_weights(mu, cov)
+        assert w[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_sharpe_not_beaten_by_random(self):
+        rng = np.random.default_rng(4)
+        mu = rng.uniform(0.01, 0.1, 4)
+        A = rng.normal(size=(4, 4))
+        cov = A @ A.T / 4 + 0.01 * np.eye(4)
+        w = max_sharpe_weights(mu, cov)
+        s_opt = (w @ mu) / np.sqrt(w @ cov @ w)
+        for _ in range(300):
+            q = rng.dirichlet(np.ones(4))
+            s_q = (q @ mu) / np.sqrt(q @ cov @ q)
+            assert s_opt >= s_q - 0.02
+
+    def test_all_below_risk_free_picks_best(self):
+        mu = np.array([0.01, 0.02])
+        w = max_sharpe_weights(mu, 0.04 * np.eye(2), risk_free=0.05)
+        assert w.tolist() == [0.0, 1.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_sharpe_weights(np.ones(3), np.eye(2))
+
+
+class TestRiskParity:
+    def test_equal_vol_gives_equal_weights(self):
+        cov = 0.04 * np.eye(3)
+        w = risk_parity_weights(cov)
+        assert np.allclose(w, 1 / 3, atol=1e-6)
+
+    def test_risk_contributions_equalised(self):
+        rng = np.random.default_rng(5)
+        A = rng.normal(size=(4, 4))
+        cov = A @ A.T / 4 + 0.05 * np.eye(4)
+        w = risk_parity_weights(cov)
+        contributions = w * (cov @ w)
+        assert contributions.max() / contributions.min() < 1.01
+
+    def test_low_vol_asset_gets_more_weight(self):
+        cov = np.diag([0.09, 0.01])
+        w = risk_parity_weights(cov)
+        assert w[1] > w[0]
+        # diagonal case: weights proportional to 1/sigma
+        assert w[1] / w[0] == pytest.approx(3.0, abs=0.01)
+
+    def test_on_simplex(self):
+        rng = np.random.default_rng(6)
+        A = rng.normal(size=(6, 6))
+        cov = A @ A.T / 6 + 0.02 * np.eye(6)
+        assert _simplex(risk_parity_weights(cov))
+
+    def test_zero_variance_rejected(self):
+        cov = np.diag([0.0, 1.0])
+        with pytest.raises(ValueError):
+            risk_parity_weights(cov)

@@ -1,0 +1,130 @@
+"""Property-based tests for portfolio optimizers and covariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.portfolio import (
+    ewma_covariance,
+    max_sharpe_weights,
+    min_variance_weights,
+    project_to_simplex,
+    risk_parity_weights,
+    sample_covariance,
+    shrinkage_covariance,
+)
+
+
+@st.composite
+def random_cov(draw, max_assets=6):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    p = draw(st.integers(min_value=2, max_value=max_assets))
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(p, p))
+    return A @ A.T / p + 0.05 * np.eye(p)
+
+
+@st.composite
+def random_returns(draw, max_assets=5):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    n = draw(st.integers(min_value=10, max_value=120))
+    p = draw(st.integers(min_value=2, max_value=max_assets))
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 0.02, size=(n, p))
+
+
+def _on_simplex(w):
+    return (w >= -1e-10).all() and abs(w.sum() - 1.0) < 1e-8
+
+
+class TestSimplexProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=20))
+    def test_always_on_simplex(self, seed, p):
+        v = np.random.default_rng(seed).normal(0, 10, size=p)
+        assert _on_simplex(project_to_simplex(v))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=10))
+    def test_idempotent(self, seed, p):
+        v = np.random.default_rng(seed).normal(size=p)
+        once = project_to_simplex(v)
+        twice = project_to_simplex(once)
+        assert np.allclose(once, twice, atol=1e-12)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=10),
+           st.floats(min_value=-5, max_value=5))
+    def test_translation_invariance(self, seed, p, c):
+        """Adding a constant to every coordinate leaves the projection
+        unchanged (the simplex constraint absorbs it)."""
+        v = np.random.default_rng(seed).normal(size=p)
+        a = project_to_simplex(v)
+        b = project_to_simplex(v + c)
+        assert np.allclose(a, b, atol=1e-9)
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(random_cov())
+    def test_min_variance_on_simplex(self, cov):
+        assert _on_simplex(min_variance_weights(cov))
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_cov())
+    def test_min_variance_beats_equal_weight(self, cov):
+        p = cov.shape[0]
+        w = min_variance_weights(cov)
+        eq = np.full(p, 1.0 / p)
+        assert w @ cov @ w <= eq @ cov @ eq + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_cov())
+    def test_risk_parity_on_simplex_and_equalised(self, cov):
+        w = risk_parity_weights(cov)
+        assert _on_simplex(w)
+        contributions = w * (cov @ w)
+        assert contributions.max() / contributions.min() < 1.1
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_cov(), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_max_sharpe_on_simplex(self, cov, seed):
+        mu = np.random.default_rng(seed).uniform(0.01, 0.1, cov.shape[0])
+        assert _on_simplex(max_sharpe_weights(mu, cov))
+
+
+class TestCovarianceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(random_returns())
+    def test_all_estimators_symmetric_psd(self, returns):
+        for cov in (
+            sample_covariance(returns),
+            ewma_covariance(returns, halflife=20),
+            shrinkage_covariance(returns),
+        ):
+            assert np.allclose(cov, cov.T, atol=1e-12)
+            assert np.linalg.eigvalsh(cov).min() >= -1e-10
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_returns())
+    def test_shrinkage_trace_preserved(self, returns):
+        sample = sample_covariance(returns)
+        shrunk = shrinkage_covariance(returns)
+        assert np.trace(shrunk) == pytest.approx(np.trace(sample),
+                                                 rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_returns(), st.floats(min_value=0.0, max_value=1.0))
+    def test_shrinkage_interpolates(self, returns, intensity):
+        sample = sample_covariance(returns)
+        shrunk = shrinkage_covariance(returns, shrinkage=intensity)
+        # off-diagonals scale by exactly (1 - intensity)
+        p = sample.shape[0]
+        off = ~np.eye(p, dtype=bool)
+        assert np.allclose(
+            shrunk[off], (1.0 - intensity) * sample[off], atol=1e-12
+        )

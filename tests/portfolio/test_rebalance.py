@@ -1,0 +1,118 @@
+"""Unit tests for the multi-asset rebalancing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.portfolio import (
+    RebalanceConfig,
+    equal_weights,
+    min_variance_weights,
+    sample_covariance,
+    simulate_portfolio,
+)
+
+
+@pytest.fixture
+def price_panel():
+    rng = np.random.default_rng(0)
+    n, a = 300, 4
+    drift = np.array([0.001, 0.0005, 0.0, -0.0005])
+    rets = drift + rng.normal(0, 0.02, size=(n, a))
+    return 100.0 * np.exp(np.cumsum(rets, axis=0))
+
+
+def equal_rule(trailing):
+    return equal_weights(trailing.shape[1])
+
+
+class TestSimulation:
+    def test_shapes(self, price_panel):
+        cfg = RebalanceConfig(lookback=60, rebalance_every=20)
+        run = simulate_portfolio(price_panel, equal_rule, cfg)
+        span = price_panel.shape[0] - 60
+        assert run.equity.shape == (span,)
+        assert run.weights.shape == (span, 4)
+
+    def test_equity_starts_near_one(self, price_panel):
+        run = simulate_portfolio(price_panel, equal_rule,
+                                 RebalanceConfig(cost_bps=0.0))
+        assert run.equity[0] == pytest.approx(1.0)
+
+    def test_costs_reduce_equity(self, price_panel):
+        free = simulate_portfolio(price_panel, equal_rule,
+                                  RebalanceConfig(cost_bps=0.0))
+        costly = simulate_portfolio(price_panel, equal_rule,
+                                    RebalanceConfig(cost_bps=50.0))
+        assert costly.equity[-1] < free.equity[-1]
+        assert costly.total_costs > 0
+
+    def test_single_asset_equivalent_to_price(self):
+        rng = np.random.default_rng(1)
+        prices = 100 * np.exp(np.cumsum(rng.normal(0, 0.02, (200, 1)),
+                                        axis=0))
+        run = simulate_portfolio(
+            prices, lambda tr: np.array([1.0]),
+            RebalanceConfig(lookback=20, cost_bps=0.0),
+        )
+        expected = prices[20:, 0] / prices[20, 0]
+        assert np.allclose(run.equity, expected, rtol=1e-9)
+
+    def test_min_variance_rule_reduces_vol(self, price_panel):
+        """Optimised weights must not be more volatile than 1/N by a
+        wide margin (generally they are calmer)."""
+        def minvar_rule(trailing):
+            return min_variance_weights(sample_covariance(trailing))
+
+        cfg = RebalanceConfig(lookback=90, rebalance_every=30,
+                              cost_bps=0.0)
+        naive = simulate_portfolio(price_panel, equal_rule, cfg)
+        optimised = simulate_portfolio(price_panel, minvar_rule, cfg)
+        vol_naive = np.diff(np.log(naive.equity)).std()
+        vol_opt = np.diff(np.log(optimised.equity)).std()
+        assert vol_opt < vol_naive * 1.2
+
+    def test_weight_drift_between_rebalances(self, price_panel):
+        cfg = RebalanceConfig(lookback=60, rebalance_every=100,
+                              cost_bps=0.0)
+        run = simulate_portfolio(price_panel, equal_rule, cfg)
+        # immediately after rebalance weights are exactly equal; later
+        # they drift with relative performance
+        assert np.allclose(run.weights[0], 0.25)
+        drifted = run.weights[99]
+        assert not np.allclose(drifted, 0.25)
+        assert drifted.sum() == pytest.approx(1.0)
+
+    def test_summary_keys(self, price_panel):
+        run = simulate_portfolio(price_panel, equal_rule)
+        summary = run.summary()
+        for key in ("sharpe", "max_drawdown", "annualized_return",
+                    "n_rebalances"):
+            assert key in summary
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            RebalanceConfig(lookback=1)
+        with pytest.raises(ValueError):
+            RebalanceConfig(rebalance_every=0)
+        with pytest.raises(ValueError):
+            RebalanceConfig(cost_bps=-1)
+
+    def test_bad_inputs(self, price_panel):
+        with pytest.raises(ValueError):
+            simulate_portfolio(price_panel[:50],
+                               equal_rule,
+                               RebalanceConfig(lookback=60))
+        with pytest.raises(ValueError):
+            simulate_portfolio(-price_panel, equal_rule)
+        with pytest.raises(ValueError):
+            simulate_portfolio(price_panel[:, 0], equal_rule)
+
+    def test_bad_weight_rule(self, price_panel):
+        with pytest.raises(ValueError):
+            simulate_portfolio(
+                price_panel, lambda tr: np.array([2.0, -1.0, 0.0, 0.0])
+            )
+        with pytest.raises(ValueError):
+            simulate_portfolio(price_panel, lambda tr: np.ones(3))

@@ -1,0 +1,16 @@
+"""Shared fixtures for synth tests (small_config/small_raw live in the
+repository-wide tests/conftest.py)."""
+
+import pytest
+
+from repro.synth import generate_latent_market, generate_universe
+
+
+@pytest.fixture(scope="session")
+def small_latent(small_config):
+    return generate_latent_market(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_universe(small_config, small_latent):
+    return generate_universe(small_config, small_latent)

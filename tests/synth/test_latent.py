@@ -1,0 +1,164 @@
+"""Unit tests for repro.synth.rng / regimes / latent."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    Regime,
+    RegimeProcess,
+    SeedBank,
+    SimulationConfig,
+    generate_latent_market,
+)
+
+
+class TestSeedBank:
+    def test_same_name_same_stream(self):
+        bank = SeedBank(42)
+        a = bank.generator("prices").normal(size=5)
+        b = bank.generator("prices").normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        bank = SeedBank(42)
+        a = bank.generator("prices").normal(size=5)
+        b = bank.generator("flows").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SeedBank(1).generator("x").normal(size=5)
+        b = SeedBank(2).generator("x").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        bank1 = SeedBank(7)
+        _ = bank1.generator("first").normal()
+        late = bank1.generator("second").normal(size=3)
+        bank2 = SeedBank(7)
+        early = bank2.generator("second").normal(size=3)
+        assert np.array_equal(late, early)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            SeedBank("42")
+
+
+class TestRegimeProcess:
+    def test_path_length_and_values(self):
+        path = RegimeProcess().sample(500, np.random.default_rng(0))
+        assert path.shape == (500,)
+        assert set(np.unique(path)) <= {0, 1, 2, 3}
+
+    def test_zero_days(self):
+        assert RegimeProcess().sample(0, np.random.default_rng(0)).size == 0
+
+    def test_negative_days(self):
+        with pytest.raises(ValueError):
+            RegimeProcess().sample(-1, np.random.default_rng(0))
+
+    def test_regimes_are_sticky(self):
+        path = RegimeProcess().sample(2000, np.random.default_rng(1))
+        switches = np.sum(np.diff(path) != 0)
+        assert switches < 60  # daily switch prob ~1 %
+
+    def test_all_regimes_eventually_visited(self):
+        path = RegimeProcess().sample(20000, np.random.default_rng(2))
+        assert set(np.unique(path)) == {0, 1, 2, 3}
+
+    def test_drift_vol_lookup(self):
+        path = np.array([0, 1, 2, 3])
+        drift = RegimeProcess.drift(path)
+        vol = RegimeProcess.vol(path)
+        assert drift[0] > 0 > drift[1]
+        assert drift[3] < drift[1]  # crash is worst
+        assert vol[3] == max(vol)
+
+    def test_invalid_matrix_shape(self):
+        with pytest.raises(ValueError):
+            RegimeProcess(np.eye(3))
+
+    def test_non_stochastic_matrix(self):
+        bad = np.full((4, 4), 0.3)
+        with pytest.raises(ValueError):
+            RegimeProcess(bad)
+
+    def test_negative_probabilities(self):
+        bad = np.eye(4)
+        bad[0, 0] = 1.5
+        bad[0, 1] = -0.5
+        with pytest.raises(ValueError):
+            RegimeProcess(bad)
+
+    def test_initial_state_respected(self):
+        path = RegimeProcess().sample(
+            10, np.random.default_rng(3), initial=Regime.BEAR
+        )
+        assert path[0] == Regime.BEAR
+
+
+class TestLatentMarket:
+    def test_shapes_consistent(self, small_latent):
+        n = small_latent.n_days
+        for arr in (
+            small_latent.regimes,
+            small_latent.macro,
+            small_latent.adoption,
+            small_latent.flows,
+            small_latent.sentiment,
+            small_latent.market_log_return,
+            small_latent.market_log_level,
+        ):
+            assert arr.shape == (n,)
+
+    def test_deterministic(self, small_config, small_latent):
+        again = generate_latent_market(small_config)
+        assert np.array_equal(
+            again.market_log_level, small_latent.market_log_level
+        )
+        assert np.array_equal(again.flows, small_latent.flows)
+
+    def test_adoption_monotone(self, small_latent):
+        assert np.all(np.diff(small_latent.adoption) >= 0)
+
+    def test_level_is_cumsum_of_returns(self, small_latent):
+        assert np.allclose(
+            small_latent.market_log_level,
+            np.cumsum(small_latent.market_log_return),
+        )
+
+    def test_market_level_positive(self, small_latent):
+        assert (small_latent.market_level() > 0).all()
+
+    def test_all_finite(self, small_latent):
+        for arr in (small_latent.macro, small_latent.flows,
+                    small_latent.sentiment, small_latent.market_log_return):
+            assert np.isfinite(arr).all()
+
+    def test_sentiment_tracks_recent_returns(self, small_latent):
+        """Sentiment chases the tape: correlated with trailing returns."""
+        ret = small_latent.market_log_return
+        trailing = np.convolve(ret, np.ones(7) / 7, mode="full")[:ret.size]
+        corr = np.corrcoef(small_latent.sentiment, trailing)[0, 1]
+        assert corr > 0.4
+
+    def test_different_seed_changes_path(self, small_config):
+        other = generate_latent_market(
+            SimulationConfig(
+                start=small_config.start, end=small_config.end,
+                seed=small_config.seed + 1, n_assets=110,
+            )
+        )
+        assert not np.array_equal(
+            other.market_log_level,
+            generate_latent_market(small_config).market_log_level,
+        )
+
+
+class TestConfigValidation:
+    def test_too_few_assets(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_assets=50)
+
+    def test_negative_macro_lag(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(macro_lag=-1)

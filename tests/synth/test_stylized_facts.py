@@ -1,0 +1,115 @@
+"""Stylized-facts validation of the synthetic market.
+
+These tests check that the simulator reproduces the statistical
+signatures of real crypto markets — the properties that make the
+substitution in DESIGN.md §2 defensible:
+
+1. daily returns are nearly unpredictable from their own past (weak
+   linear autocorrelation), while *prices* are a near-unit-root process;
+2. volatility clusters: |returns| are strongly autocorrelated;
+3. returns are fat-tailed (excess kurtosis) and include crash outliers;
+4. annualised volatility sits in crypto's historical 40-100 % band;
+5. the cross-section co-moves (a dominant market factor), yet assets
+   retain idiosyncratic risk.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import acf, ljung_box
+from repro.synth import (
+    SimulationConfig,
+    generate_latent_market,
+    generate_universe,
+)
+
+
+@pytest.fixture(scope="module")
+def market():
+    config = SimulationConfig()  # full 2016-2023 span
+    latent = generate_latent_market(config)
+    universe = generate_universe(config, latent)
+    return latent, universe
+
+
+class TestReturnDynamics:
+    def test_weak_linear_autocorrelation_of_returns(self, market):
+        latent, _ = market
+        rho = acf(latent.market_log_return, 5)
+        # momentum exists but is economically small, as in real markets
+        assert np.abs(rho[1:]).max() < 0.15
+
+    def test_prices_are_persistent(self, market):
+        latent, _ = market
+        rho = acf(latent.market_log_level, 1)
+        assert rho[1] > 0.98
+
+    def test_levels_fail_whiteness_test(self, market):
+        latent, _ = market
+        _, p = ljung_box(latent.market_log_level, 10)
+        assert p < 1e-10
+
+
+class TestVolatilityClustering:
+    def test_abs_returns_strongly_autocorrelated(self, market):
+        latent, _ = market
+        abs_ret = np.abs(latent.market_log_return)
+        rho = acf(abs_ret, 10)
+        assert rho[1] > 0.05
+        # clustering persists for many lags
+        assert rho[1:11].mean() > 0.03
+
+    def test_abs_returns_reject_whiteness(self, market):
+        latent, _ = market
+        _, p = ljung_box(np.abs(latent.market_log_return), 10)
+        assert p < 1e-4
+
+
+class TestTails:
+    def test_fat_tails(self, market):
+        latent, _ = market
+        kurt = scipy_stats.kurtosis(latent.market_log_return)
+        assert kurt > 1.0  # clearly leptokurtic vs the Gaussian's 0
+
+    def test_crash_days_exist(self, market):
+        latent, _ = market
+        ret = latent.market_log_return
+        assert ret.min() < -5 * ret.std()
+
+
+class TestScale:
+    def test_annualised_vol_in_crypto_band(self, market):
+        latent, _ = market
+        ann_vol = latent.market_log_return.std() * np.sqrt(365)
+        assert 0.30 < ann_vol < 1.20
+
+    def test_btc_price_plausible(self, market):
+        _, universe = market
+        close = universe.btc["close"]
+        assert 100 < close[0] < 5_000       # 2016-ish BTC
+        assert close.max() < 1_000_000      # no absurd blow-up
+
+
+class TestCrossSection:
+    def test_dominant_market_factor(self, market):
+        _, universe = market
+        log_caps = np.log(universe.caps[:, :30])
+        returns = np.diff(log_caps, axis=0)
+        corr = np.corrcoef(returns, rowvar=False)
+        off_diag = corr[np.triu_indices_from(corr, k=1)]
+        assert off_diag.mean() > 0.3  # strong common factor
+
+    def test_idiosyncratic_risk_remains(self, market):
+        _, universe = market
+        log_caps = np.log(universe.caps[:, :30])
+        returns = np.diff(log_caps, axis=0)
+        corr = np.corrcoef(returns, rowvar=False)
+        off_diag = corr[np.triu_indices_from(corr, k=1)]
+        assert off_diag.max() < 0.999  # not one single asset in disguise
+
+    def test_btc_tracks_market(self, market):
+        latent, universe = market
+        btc_ret = np.diff(np.log(universe.btc["close"]))
+        mkt_ret = latent.market_log_return[1:]
+        assert np.corrcoef(btc_ret, mkt_ret)[0, 1] > 0.9

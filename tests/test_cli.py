@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["simulate", "--out", str(tmp_path), "--seed", "5"]
+        )
+        assert args.command == "simulate"
+        assert args.seed == 5
+        assert not args.include_eth
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.preset == "fast"
+        assert args.report is None
+        assert args.markdown is None
+
+    def test_run_markdown_arg(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "--markdown", str(tmp_path / "r.md")]
+        )
+        assert args.markdown.name == "r.md"
+
+    def test_bad_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--preset", "huge"])
+
+
+class TestSimulateCommand:
+    def test_writes_csv_bundle(self, tmp_path, capsys, monkeypatch):
+        self._patch_small(monkeypatch)
+        code = main(["simulate", "--out", str(tmp_path), "--seed", "3"])
+        assert code == 0
+        assert (tmp_path / "features.csv").exists()
+        assert (tmp_path / "crypto100.csv").exists()
+        assert (tmp_path / "categories.csv").exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_roundtrip_readable(self, tmp_path, monkeypatch):
+        self._patch_small(monkeypatch)
+        main(["simulate", "--out", str(tmp_path)])
+        from repro.frame import read_csv
+
+        features = read_csv(tmp_path / "features.csv")
+        assert features.n_cols > 100
+        index = read_csv(tmp_path / "crypto100.csv")
+        assert "crypto100" in index.columns
+
+    def test_include_eth_flag(self, tmp_path, monkeypatch):
+        self._patch_small(monkeypatch)
+        main(["simulate", "--out", str(tmp_path), "--include-eth"])
+        text = (tmp_path / "categories.csv").read_text()
+        assert "onchain_eth" in text
+
+    def test_market_preset_flag(self, tmp_path, monkeypatch):
+        self._patch_small(monkeypatch)
+        code = main(["simulate", "--out", str(tmp_path),
+                     "--market", "short_history"])
+        assert code == 0
+        from repro.frame import read_csv
+
+        features = read_csv(tmp_path / "features.csv")
+        # the short-history preset starts in 2020
+        assert features.index[0].year >= 2020
+
+    def test_bad_market_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--out", str(tmp_path),
+                  "--market", "moonshot"])
+
+    @staticmethod
+    def _patch_small(monkeypatch):
+        """Shrink the simulation window so CLI tests stay fast.
+
+        The simulate command goes through the market presets, so the
+        patch wraps each preset factory with a smaller window/universe;
+        the index command constructs SimulationConfig directly, so that
+        name is wrapped too.
+        """
+        import dataclasses
+
+        import repro.cli as cli
+
+        original_presets = dict(cli.MARKET_PRESETS)
+
+        def shrink(config):
+            start = max(config.start, "2018-01-01")
+            return dataclasses.replace(
+                config, start=start, end="2020-06-30", n_assets=105,
+            )
+
+        patched = {
+            name: (lambda seed=20240701, _f=factory: shrink(_f(seed=seed)))
+            for name, factory in original_presets.items()
+        }
+        monkeypatch.setattr(cli, "MARKET_PRESETS", patched)
+
+        original_config = cli.SimulationConfig
+
+        def small(*args, **kwargs):
+            kwargs.setdefault("start", "2018-01-01")
+            kwargs.setdefault("end", "2019-06-30")
+            kwargs.setdefault("n_assets", 105)
+            return original_config(*args, **kwargs)
+
+        monkeypatch.setattr(cli, "SimulationConfig", small)
+
+
+class TestIndexCommand:
+    def test_prints_analysis(self, capsys, monkeypatch):
+        TestSimulateCommand._patch_small(monkeypatch)
+        code = main(["index", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best scaling power" in out
+        assert "top-100 market share" in out
