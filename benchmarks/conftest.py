@@ -10,8 +10,14 @@ The expensive artefacts are session-scoped and computed once:
 Each bench also *measures* a representative computation with
 pytest-benchmark, so ``--benchmark-only`` runs double as a performance
 regression harness for the library.
+
+At session end the harness writes ``results/BENCH_obs.json``: each
+benchmark test's wall-time plus the bench run's span aggregates and
+metrics from :mod:`repro.obs` — the machine-readable performance
+trajectory later perf PRs regress against.
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -20,6 +26,10 @@ from repro import ExperimentConfig, run_experiment
 from repro.synth import generate_latent_market, generate_universe
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: per-test wall times and the bench run's telemetry, filled as the
+#: session runs and flushed by pytest_sessionfinish.
+_obs: dict = {"benchmarks": {}, "run_summary": None}
 
 
 @pytest.fixture(scope="session")
@@ -30,7 +40,30 @@ def bench_config():
 @pytest.fixture(scope="session")
 def bench_results(bench_config):
     """One full paper reproduction at benchmark scale (computed once)."""
-    return run_experiment(bench_config)
+    results = run_experiment(bench_config)
+    _obs["run_summary"] = results.run_summary
+    return results
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _obs["benchmarks"][report.nodeid] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _obs["benchmarks"]:
+        return
+    summary = _obs["run_summary"]
+    payload = {
+        "schema": 1,
+        "preset": "bench",
+        "benchmarks_s": dict(sorted(_obs["benchmarks"].items())),
+    }
+    if summary is not None:
+        payload["experiment"] = summary.to_dict()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_obs.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

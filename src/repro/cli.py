@@ -7,20 +7,27 @@ Commands
     target) to CSV files.
 ``run``
     Execute the full experiment at a chosen preset and print every
-    reproduced table; optionally write them to a report file.
+    reproduced table; optionally write them to a report file and the
+    span trace to a JSONL file.
 ``index``
     Print the Crypto100 scaling-factor analysis (Figures 1-2 data).
+``trace-summary``
+    Summarise a span trace written by ``run --trace``: aggregate
+    per-stage table plus the slowest individual spans.
 
 Examples::
 
     python -m repro simulate --out data/ --seed 7
     python -m repro run --preset fast --seed 7 --report report.txt
+    python -m repro run --preset fast --trace t.jsonl --log-level info
+    python -m repro trace-summary t.jsonl
     python -m repro index --seed 7
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -35,6 +42,14 @@ from .core.reporting import (
     render_unique_features,
 )
 from .frame.io import write_csv
+from .obs import (
+    configure_logging,
+    format_runtime,
+    format_slowest,
+    format_stage_table,
+    read_jsonl,
+    write_jsonl,
+)
 from .synth.config import SimulationConfig
 from .synth.dataset import generate_raw_dataset
 from .synth.latent import generate_latent_market
@@ -49,6 +64,13 @@ _PRESETS = {
     "default": ExperimentConfig.default,
     "paper": ExperimentConfig.paper,
 }
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,11 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also write a full markdown report here")
     run.add_argument("--quiet", action="store_true",
                      help="suppress progress logging")
+    run.add_argument("--log-level", default=None,
+                     choices=("debug", "info", "warning", "error"),
+                     help="structured-logging level "
+                          "(default: $REPRO_LOG_LEVEL or warning; "
+                          "implied info when the preset is verbose)")
+    run.add_argument("--log-json", action="store_true",
+                     help="emit JSON log lines instead of key=value")
+    run.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                     help="write the run's span trace to this JSONL file")
 
     index = sub.add_parser(
         "index", help="Crypto100 scaling-factor analysis"
     )
     index.add_argument("--seed", type=int, default=20240701)
+
+    trace = sub.add_parser(
+        "trace-summary",
+        help="summarise a span trace written by 'run --trace'",
+    )
+    trace.add_argument("path", type=Path,
+                       help="the trace JSONL file to summarise")
+    trace.add_argument("--top", type=_positive_int, default=10,
+                       help="how many slowest spans to list")
     return parser
 
 
@@ -149,13 +189,19 @@ def _render_full_report(results) -> str:
                 continue
             lines.append(f"  {model.upper()} set {period}: {value:.2f}%")
     sections.append("\n".join(lines))
-    sections.append(f"runtime: {results.runtime_seconds:.0f}s")
+    runtime_lines = [f"runtime: {format_runtime(results.runtime_seconds)}"]
+    breakdown = results.run_summary.breakdown_line()
+    if breakdown:
+        runtime_lines.append(f"stages: {breakdown}")
+    sections.append("\n".join(runtime_lines))
     return "\n\n".join(sections)
 
 
 def _cmd_run(args) -> int:
     import dataclasses
 
+    if args.log_level is not None or args.log_json:
+        configure_logging(level=args.log_level, json_mode=args.log_json)
     make_config = _PRESETS[args.preset]
     config = make_config(seed=args.seed)
     if config.verbose == args.quiet:  # align verbosity with --quiet
@@ -172,6 +218,33 @@ def _cmd_run(args) -> int:
 
         path = write_markdown_report(results, args.markdown)
         print(f"markdown report written to {path}")
+    if args.trace is not None:
+        path = write_jsonl(results.run_summary.spans, args.trace)
+        print(f"span trace ({len(results.run_summary.spans)} spans) "
+              f"written to {path}")
+    return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    try:
+        spans = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"trace file not found: {args.path}")
+        return 1
+    except (json.JSONDecodeError, KeyError) as exc:
+        print(f"not a span trace ({args.path}): {exc}")
+        return 1
+    if not spans:
+        print(f"no spans found in {args.path}")
+        return 1
+    roots = [s for s in spans if s.parent_id is None]
+    total = (max(s.duration for s in roots) if roots
+             else max(s.end for s in spans) - min(s.start for s in spans))
+    print(f"{len(spans)} spans, total traced time "
+          f"{format_runtime(total)}\n")
+    print(format_stage_table(spans))
+    print()
+    print(format_slowest(spans, args.top))
     return 0
 
 
@@ -201,6 +274,7 @@ def main(argv=None) -> int:
         "simulate": _cmd_simulate,
         "run": _cmd_run,
         "index": _cmd_index,
+        "trace-summary": _cmd_trace_summary,
     }
     return handlers[args.command](args)
 

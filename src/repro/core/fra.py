@@ -26,6 +26,9 @@ import numpy as np
 from ..ml.boosting import GradientBoostingRegressor
 from ..ml.forest import RandomForestRegressor
 from ..ml.importance import permutation_importance, target_correlations
+from ..obs import current_metrics, get_logger, span
+
+_log = get_logger("fra")
 
 __all__ = ["FRAConfig", "FRAResult", "fra_reduce"]
 
@@ -150,47 +153,66 @@ def fra_reduce(X, y, feature_names, config: FRAConfig | None = None
     corr_threshold = config.corr_start
     history: list[dict] = []
     scores = None
+    metrics = current_metrics()
 
-    for _ in range(config.max_iterations):
-        if active.size <= config.target_size:
-            break
-        X_cur = X[:, active]
-        scores = _consensus_scores(X_cur, y, names, config, rng)
-        correlations = target_correlations(X_cur, y)
+    with span("fra.reduce", n_candidates=len(names),
+              target_size=config.target_size):
+        for iteration in range(config.max_iterations):
+            if active.size <= config.target_size:
+                break
+            with span("fra.iteration", iteration=iteration) as record:
+                X_cur = X[:, active]
+                scores = _consensus_scores(X_cur, y, names, config, rng)
+                correlations = target_correlations(X_cur, y)
 
-        bottom = np.ones(active.size, dtype=bool)
-        for row in scores:
-            bottom &= _bottom_half_mask(row)
-        removable = bottom & (correlations < corr_threshold)
-        # Removing every consensus-bottom feature can overshoot below the
-        # target — the paper's Table 1 shows exactly that (final sizes of
-        # 79-88 against a target of 100), so no budget cap is applied.
-        idx_removable = np.flatnonzero(removable)
+                bottom = np.ones(active.size, dtype=bool)
+                for row in scores:
+                    bottom &= _bottom_half_mask(row)
+                removable = bottom & (correlations < corr_threshold)
+                # Removing every consensus-bottom feature can overshoot
+                # below the target — the paper's Table 1 shows exactly
+                # that (final sizes of 79-88 against a target of 100),
+                # so no budget cap is applied.
+                idx_removable = np.flatnonzero(removable)
 
-        if idx_removable.size == 0 and corr_threshold > 1.0:
-            # Rank consensus exhausted: force progress by dropping the
-            # single worst feature by mean rank (keeps termination).
-            mean_rank = np.zeros(active.size)
-            for row in scores:
-                mean_rank += np.argsort(np.argsort(row, kind="stable"),
-                                        kind="stable")
-            idx_removable = np.array([int(np.argmin(mean_rank))])
+                if idx_removable.size == 0 and corr_threshold > 1.0:
+                    # Rank consensus exhausted: force progress by
+                    # dropping the single worst feature by mean rank
+                    # (keeps termination).
+                    mean_rank = np.zeros(active.size)
+                    for row in scores:
+                        mean_rank += np.argsort(
+                            np.argsort(row, kind="stable"), kind="stable"
+                        )
+                    idx_removable = np.array([int(np.argmin(mean_rank))])
 
-        history.append({
-            "n_features": int(active.size),
-            "corr_threshold": float(corr_threshold),
-            "n_removed": int(idx_removable.size),
-        })
-        if idx_removable.size:
-            keep = np.ones(active.size, dtype=bool)
-            keep[idx_removable] = False
-            active = active[keep]
-        corr_threshold += config.corr_step
+                history.append({
+                    "n_features": int(active.size),
+                    "corr_threshold": float(corr_threshold),
+                    "n_removed": int(idx_removable.size),
+                })
+                record.attrs["n_features"] = int(active.size)
+                record.attrs["n_removed"] = int(idx_removable.size)
+                _log.debug("iteration", iteration=iteration,
+                           n_features=int(active.size),
+                           n_removed=int(idx_removable.size),
+                           corr_threshold=corr_threshold)
+                metrics.counter("fra.iterations").inc()
+                metrics.counter("fra.features_eliminated").inc(
+                    int(idx_removable.size)
+                )
+                if idx_removable.size:
+                    keep = np.ones(active.size, dtype=bool)
+                    keep[idx_removable] = False
+                    active = active[keep]
+                corr_threshold += config.corr_step
 
-    # Final consensus importance over survivors (refit if anything changed
-    # since the last scoring pass, or if no iteration ran at all).
-    X_cur = X[:, active]
-    scores = _consensus_scores(X_cur, y, names, config, rng)
+        # Final consensus importance over survivors (refit if anything
+        # changed since the last scoring pass, or if no iteration ran at
+        # all).
+        with span("fra.final_scores", n_survivors=int(active.size)):
+            X_cur = X[:, active]
+            scores = _consensus_scores(X_cur, y, names, config, rng)
     mean_rank = np.zeros(active.size)
     for row in scores:
         mean_rank += np.argsort(np.argsort(row, kind="stable"),

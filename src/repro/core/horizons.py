@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ml.forest import RandomForestRegressor
+from ..obs import span
 from .scenarios import Scenario
 
 __all__ = [
@@ -52,16 +53,18 @@ def rf_feature_importance(
     random_state: int = 0,
 ) -> dict[str, float]:
     """MDI importance of a random forest trained on a feature subset."""
-    sub = scenario.select_features(feature_subset)
-    params = rf_params if rf_params is not None else {
-        "n_estimators": 30, "max_depth": 12, "max_features": "sqrt",
-        "min_samples_leaf": 2,
-    }
-    model = RandomForestRegressor(
-        random_state=random_state, **params
-    ).fit(sub.X, sub.y)
-    return dict(zip(sub.feature_names,
-                    (float(v) for v in model.feature_importances_)))
+    with span("horizons.rf_importance", scenario=scenario.key,
+              n_features=len(feature_subset)):
+        sub = scenario.select_features(feature_subset)
+        params = rf_params if rf_params is not None else {
+            "n_estimators": 30, "max_depth": 12, "max_features": "sqrt",
+            "min_samples_leaf": 2,
+        }
+        model = RandomForestRegressor(
+            random_state=random_state, **params
+        ).fit(sub.X, sub.y)
+        return dict(zip(sub.feature_names,
+                        (float(v) for v in model.feature_importances_)))
 
 
 def merge_group(name: str,

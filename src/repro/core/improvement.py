@@ -32,7 +32,10 @@ from ..ml.linear import Ridge
 from ..ml.metrics import mean_squared_error, mse_improvement_pct
 from ..ml.neural import MLPRegressor
 from ..ml.model_selection import GridSearchCV, KFold, TimeSeriesSplit, clone
+from ..obs import current_metrics, get_logger, span
 from .scenarios import Scenario
+
+_log = get_logger("improvement")
 
 __all__ = [
     "ImprovementConfig",
@@ -177,6 +180,16 @@ def evaluate_feature_set(
     """
     if not feature_names:
         raise ValueError("feature set is empty")
+    with span("improvement.evaluate", scenario=scenario.key,
+              model=config.model, n_features=len(feature_names)):
+        return _evaluate_feature_set(scenario, feature_names, config)
+
+
+def _evaluate_feature_set(
+    scenario: Scenario,
+    feature_names: list[str],
+    config: ImprovementConfig,
+) -> float:
     sub = scenario.select_features(feature_names)
     cv = KFold(config.cv_folds, shuffle=True,
                random_state=config.random_state)
@@ -227,19 +240,34 @@ def scenario_improvements(
     model sees everything the single data source can offer).
     """
     config = config if config is not None else ImprovementConfig()
-    diverse_mse = evaluate_feature_set(scenario, final_features, config)
-    result = ScenarioImprovement(
-        period=scenario.period,
-        window=scenario.window,
-        diverse_mse=diverse_mse,
-    )
-    for category in DataCategory:
-        candidates = scenario.columns_in(category)
-        if len(candidates) < config.min_category_features:
-            continue
-        result.category_mse[category] = evaluate_feature_set(
-            scenario, candidates, config
+    metrics = current_metrics()
+    with span("improvement.scenario", scenario=scenario.key,
+              model=config.model):
+        with span("improvement.feature_set", scenario=scenario.key,
+                  model=config.model, feature_set="diverse"):
+            diverse_mse = evaluate_feature_set(
+                scenario, final_features, config
+            )
+        metrics.histogram("improvement.mse").observe(diverse_mse)
+        result = ScenarioImprovement(
+            period=scenario.period,
+            window=scenario.window,
+            diverse_mse=diverse_mse,
         )
+        for category in DataCategory:
+            candidates = scenario.columns_in(category)
+            if len(candidates) < config.min_category_features:
+                continue
+            with span("improvement.feature_set", scenario=scenario.key,
+                      model=config.model, feature_set=category.value):
+                category_mse = evaluate_feature_set(
+                    scenario, candidates, config
+                )
+            metrics.histogram("improvement.mse").observe(category_mse)
+            result.category_mse[category] = category_mse
+            _log.debug("feature_set.done", scenario=scenario.key,
+                       model=config.model, feature_set=category.value,
+                       mse=category_mse)
     return result
 
 

@@ -21,6 +21,16 @@ import time
 from dataclasses import dataclass, field, replace
 
 from ..categories import DataCategory
+from ..obs import (
+    MetricsRegistry,
+    RunSummary,
+    Tracer,
+    configure_logging,
+    get_logger,
+    logging_configured,
+    use_metrics,
+    use_tracer,
+)
 from ..synth.config import SimulationConfig
 from ..synth.dataset import RawDataset, generate_raw_dataset
 from .contribution import contribution_factors
@@ -220,6 +230,8 @@ class ExperimentResults:
     improvements_rf: list[ScenarioImprovement]
     improvements_gb: list[ScenarioImprovement]
     runtime_seconds: float = 0.0
+    run_summary: RunSummary = field(default_factory=RunSummary)
+    """Per-run telemetry: every span plus the metrics snapshot."""
 
     # ----- Table 1 ------------------------------------------------------
     def table1_vector_sizes(self) -> dict[str, int]:
@@ -318,59 +330,87 @@ class ExperimentResults:
 
 
 def run_experiment(config: ExperimentConfig | None = None,
-                   raw: RawDataset | None = None) -> ExperimentResults:
-    """Execute the full study; see the module docstring for the stages."""
+                   raw: RawDataset | None = None,
+                   tracer: Tracer | None = None,
+                   metrics: MetricsRegistry | None = None
+                   ) -> ExperimentResults:
+    """Execute the full study; see the module docstring for the stages.
+
+    Every stage runs inside a span of ``tracer`` (a fresh one per run by
+    default) and records into ``metrics``; both end up on the returned
+    results' :class:`~repro.obs.RunSummary`.  ``config.verbose=True`` is
+    an alias for INFO-level console logging (unless the application
+    already configured :mod:`repro.obs` logging explicitly).
+    """
     config = config if config is not None else ExperimentConfig.default()
     started = time.perf_counter()
-    log = print if config.verbose else (lambda *_: None)
+    tracer = tracer if tracer is not None else Tracer()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    if config.verbose and not logging_configured():
+        configure_logging(level="info")
+    log = get_logger("pipeline")
 
-    if raw is None:
-        log("generating synthetic dataset...")
-        raw = generate_raw_dataset(config.simulation)
+    with use_tracer(tracer), use_metrics(metrics), \
+            tracer.span("experiment.run"):
+        if raw is None:
+            log.info("dataset.generate", seed=config.simulation.seed)
+            raw = generate_raw_dataset(config.simulation)
 
-    log(f"building scenarios for periods={config.periods} "
-        f"windows={config.windows}")
-    scenarios = build_all_scenarios(
-        raw, periods=config.periods, windows=config.windows
-    )
+        log.info("scenarios.build", periods=",".join(config.periods),
+                 windows=",".join(str(w) for w in config.windows))
+        with tracer.span("pipeline.scenarios"):
+            scenarios = build_all_scenarios(
+                raw, periods=config.periods, windows=config.windows
+            )
+        metrics.gauge("experiment.scenarios").set(len(scenarios))
 
-    artifacts: dict[str, ScenarioArtifacts] = {}
-    improvements_rf: list[ScenarioImprovement] = []
-    improvements_gb: list[ScenarioImprovement] = []
-    for key, scenario in scenarios.items():
-        log(f"[{key}] FRA + SHAP selection "
-            f"({scenario.n_features} candidates)...")
-        selection = select_final_features(
-            scenario.X, scenario.y, scenario.feature_names,
-            fra_config=config.fra, shap_config=config.shap,
-            top_k=config.top_k,
-        )
-        log(f"[{key}] final vector: {selection.n_features} features, "
-            f"SHAP overlap {selection.overlap_top100}")
-        importance = rf_feature_importance(
-            scenario, selection.final_features,
-            rf_params=config.rf_importance_params,
-        )
-        artifacts[key] = ScenarioArtifacts(
-            scenario=scenario,
-            selection=selection,
-            rf_importance=importance,
-        )
-        log(f"[{key}] improvement study (RF)...")
-        improvements_rf.append(scenario_improvements(
-            scenario, selection.final_features, config.improvement_rf
-        ))
-        if config.run_gb_validation:
-            log(f"[{key}] improvement study (GB)...")
-            improvements_gb.append(scenario_improvements(
-                scenario, selection.final_features, config.improvement_gb
-            ))
+        artifacts: dict[str, ScenarioArtifacts] = {}
+        improvements_rf: list[ScenarioImprovement] = []
+        improvements_gb: list[ScenarioImprovement] = []
+        for key, scenario in scenarios.items():
+            slog = log.bind(scenario=key)
+            with tracer.span("pipeline.scenario", scenario=key):
+                slog.info("selection.start",
+                          candidates=scenario.n_features)
+                selection = select_final_features(
+                    scenario.X, scenario.y, scenario.feature_names,
+                    fra_config=config.fra, shap_config=config.shap,
+                    top_k=config.top_k,
+                )
+                slog.info("selection.done",
+                          final=selection.n_features,
+                          shap_overlap=selection.overlap_top100)
+                importance = rf_feature_importance(
+                    scenario, selection.final_features,
+                    rf_params=config.rf_importance_params,
+                )
+                artifacts[key] = ScenarioArtifacts(
+                    scenario=scenario,
+                    selection=selection,
+                    rf_importance=importance,
+                )
+                slog.info("improvement.start", model="rf")
+                improvements_rf.append(scenario_improvements(
+                    scenario, selection.final_features,
+                    config.improvement_rf,
+                ))
+                if config.run_gb_validation:
+                    slog.info("improvement.start", model="gb")
+                    improvements_gb.append(scenario_improvements(
+                        scenario, selection.final_features,
+                        config.improvement_gb,
+                    ))
 
+    runtime = time.perf_counter() - started
+    log.info("experiment.done", scenarios=len(artifacts),
+             runtime_s=runtime)
     return ExperimentResults(
         config=config,
         raw=raw,
         artifacts=artifacts,
         improvements_rf=improvements_rf,
         improvements_gb=improvements_gb,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=runtime,
+        run_summary=RunSummary(spans=tracer.spans,
+                               metrics=metrics.snapshot()),
     )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..categories import CATEGORY_LABELS
+from ..obs import format_runtime
 from .pipeline import ExperimentResults
 
 __all__ = ["export_markdown", "write_markdown_report"]
@@ -32,7 +33,7 @@ def export_markdown(results: ExperimentResults) -> str:
     parts.append(
         f"Simulation seed `{config.simulation.seed}`, periods "
         f"{list(config.periods)}, windows {list(config.windows)}, "
-        f"runtime {results.runtime_seconds:.0f}s."
+        f"runtime {format_runtime(results.runtime_seconds)}."
     )
 
     # Table 1
@@ -149,6 +150,33 @@ def export_markdown(results: ExperimentResults) -> str:
                 continue
             rows.append([label, period, f"{value:.2f}%"])
     parts.append(_md_table(["Model", "Set", "Mean improvement"], rows))
+
+    # Run telemetry
+    summary = results.run_summary
+    if summary.spans:
+        parts.append("## Run telemetry")
+        breakdown = summary.breakdown()
+        parts.append(_md_table(
+            ["Stage", "Self time"],
+            [(stage, format_runtime(seconds))
+             for stage, seconds in breakdown.items()],
+        ))
+        stages = summary.stages()
+        parts.append(_md_table(
+            ["Span", "Count", "Total", "Mean", "Max"],
+            [
+                (name, entry["count"],
+                 format_runtime(entry["total_s"]),
+                 format_runtime(entry["mean_s"]),
+                 format_runtime(entry["max_s"]))
+                for name, entry in stages.items()
+            ],
+        ))
+        counters = summary.metrics.get("counters", {})
+        if counters:
+            parts.append(_md_table(
+                ["Counter", "Value"], sorted(counters.items()),
+            ))
 
     return "\n\n".join(parts) + "\n"
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..categories import DataCategory
 from ..frame.frame import Frame
+from ..obs import span
 from ..synth.dataset import RawDataset
 from .cleaning import CleaningReport, clean_features
 from .crypto100 import crypto100_index
@@ -124,34 +125,36 @@ def build_scenario(
         raise ValueError("prediction window must be >= 1 day")
     start, end = PERIODS[period]
 
-    target = crypto100_index(raw.universe)["crypto100"]
-    features = raw.features.loc_range(start, end)
-    target_sliced = Frame(
-        raw.features.index, {"crypto100": target}
-    ).loc_range(start, end)["crypto100"]
+    with span("scenarios.build", period=period, window=window):
+        target = crypto100_index(raw.universe)["crypto100"]
+        features = raw.features.loc_range(start, end)
+        target_sliced = Frame(
+            raw.features.index, {"crypto100": target}
+        ).loc_range(start, end)["crypto100"]
 
-    cleaned, report = clean_features(
-        features,
-        max_nan_run_frac=max_nan_run_frac,
-        max_flat_run_frac=max_flat_run_frac,
-    )
-
-    if window >= cleaned.n_rows:
-        raise ValueError(
-            f"window {window} leaves no supervised rows in period {period}"
+        cleaned, report = clean_features(
+            features,
+            max_nan_run_frac=max_nan_run_frac,
+            max_flat_run_frac=max_flat_run_frac,
         )
-    X = cleaned.to_matrix()[:-window]
-    y = target_sliced[window:]
-    names = cleaned.columns
-    return Scenario(
-        period=period,
-        window=window,
-        feature_names=names,
-        X=X,
-        y=np.asarray(y, dtype=np.float64),
-        categories={n: raw.categories[n] for n in names},
-        cleaning_report=report,
-    )
+
+        if window >= cleaned.n_rows:
+            raise ValueError(
+                f"window {window} leaves no supervised rows in "
+                f"period {period}"
+            )
+        X = cleaned.to_matrix()[:-window]
+        y = target_sliced[window:]
+        names = cleaned.columns
+        return Scenario(
+            period=period,
+            window=window,
+            feature_names=names,
+            X=X,
+            y=np.asarray(y, dtype=np.float64),
+            categories={n: raw.categories[n] for n in names},
+            cleaning_report=report,
+        )
 
 
 def build_all_scenarios(

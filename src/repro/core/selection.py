@@ -16,6 +16,7 @@ import numpy as np
 
 from ..ml.boosting import GradientBoostingRegressor
 from ..ml.shap import shap_importance
+from ..obs import current_metrics, span
 from .fra import FRAConfig, FRAResult, fra_reduce
 
 __all__ = [
@@ -72,15 +73,17 @@ def shap_ranking(X, y, feature_names,
     names = list(feature_names)
     if X.shape[1] != len(names):
         raise ValueError("X width must match feature_names length")
-    model = GradientBoostingRegressor(
-        random_state=config.random_state, **config.gb_params
-    ).fit(X, y)
-    importance = shap_importance(
-        model, X, max_samples=config.max_rows,
-        random_state=config.random_state,
-    )
-    order = np.argsort(-importance, kind="stable")
-    return [names[i] for i in order]
+    with span("selection.shap", n_candidates=len(names),
+              max_rows=config.max_rows):
+        model = GradientBoostingRegressor(
+            random_state=config.random_state, **config.gb_params
+        ).fit(X, y)
+        importance = shap_importance(
+            model, X, max_samples=config.max_rows,
+            random_state=config.random_state,
+        )
+        order = np.argsort(-importance, kind="stable")
+        return [names[i] for i in order]
 
 
 def select_final_features(
@@ -97,21 +100,25 @@ def select_final_features(
     ``fra_result`` short-circuits the FRA run when the caller already has
     one (the pipeline reuses it across analyses).
     """
-    if fra_result is None:
-        fra_result = fra_reduce(X, y, feature_names, fra_config)
-    shap_order = shap_ranking(X, y, feature_names, shap_config)
+    with span("selection.select", top_k=top_k):
+        if fra_result is None:
+            fra_result = fra_reduce(X, y, feature_names, fra_config)
+        shap_order = shap_ranking(X, y, feature_names, shap_config)
 
-    fra_top = fra_result.selected[:top_k]
-    shap_top = shap_order[:top_k]
-    # Union, preserving FRA order first then SHAP-only additions.
-    final = list(fra_top)
-    seen = set(fra_top)
-    for name in shap_top:
-        if name not in seen:
-            final.append(name)
-            seen.add(name)
+        fra_top = fra_result.selected[:top_k]
+        shap_top = shap_order[:top_k]
+        # Union, preserving FRA order first then SHAP-only additions.
+        final = list(fra_top)
+        seen = set(fra_top)
+        for name in shap_top:
+            if name not in seen:
+                final.append(name)
+                seen.add(name)
 
-    overlap = len(set(shap_order[:100]) & set(fra_result.selected))
+        overlap = len(set(shap_order[:100]) & set(fra_result.selected))
+    metrics = current_metrics()
+    metrics.histogram("selection.shap_overlap").observe(overlap)
+    metrics.histogram("selection.final_size").observe(len(final))
     return SelectionResult(
         final_features=final,
         fra=fra_result,

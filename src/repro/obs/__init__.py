@@ -1,0 +1,99 @@
+"""Observability substrate: structured logging, span tracing, metrics.
+
+``repro.obs`` is the zero-dependency (stdlib-only) telemetry layer the
+experiment pipeline reports through:
+
+* :mod:`repro.obs.log` — a ``get_logger(name)`` facade over the stdlib
+  ``logging`` module emitting ``key=value`` (or JSON) structured lines,
+  configured via :func:`configure_logging`, ``REPRO_LOG_LEVEL`` /
+  ``REPRO_LOG_JSON``, or the CLI ``--log-level`` / ``--log-json`` flags.
+* :mod:`repro.obs.trace` — nested wall-time spans with an injectable
+  clock, thread-safe collection, and JSONL export/import.  The pipeline
+  wraps every stage (dataset synthesis, scenario construction, FRA
+  iterations, SHAP, improvement studies) in spans.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  histograms with a ``snapshot()`` → dict API.
+* :mod:`repro.obs.summary` — :class:`RunSummary`, the per-run bundle of
+  spans + metrics attached to ``ExperimentResults.run_summary`` and
+  rendered by reports and ``repro trace-summary``.
+
+Quick tour::
+
+    from repro.obs import Tracer, use_tracer, span, current_metrics
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("stage.work", scenario="2017_7"):
+            current_metrics().counter("work.items").inc()
+    tracer.export("trace.jsonl")
+"""
+
+from .log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    logging_configured,
+    reset_logging,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    set_current_metrics,
+    use_metrics,
+)
+from .summary import (
+    RunSummary,
+    aggregate_spans,
+    format_runtime,
+    format_slowest,
+    format_stage_table,
+    slowest_spans,
+    stage_breakdown,
+)
+from .trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    read_jsonl,
+    set_current_tracer,
+    span,
+    use_tracer,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "RunSummary",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "aggregate_spans",
+    "configure_logging",
+    "current_metrics",
+    "current_tracer",
+    "format_runtime",
+    "format_slowest",
+    "format_stage_table",
+    "get_logger",
+    "logging_configured",
+    "read_jsonl",
+    "reset_logging",
+    "set_current_metrics",
+    "set_current_tracer",
+    "slowest_spans",
+    "span",
+    "stage_breakdown",
+    "use_metrics",
+    "use_tracer",
+    "write_jsonl",
+]

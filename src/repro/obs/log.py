@@ -1,0 +1,233 @@
+"""Structured logging facade over the stdlib ``logging`` module.
+
+``get_logger(name)`` returns a :class:`StructuredLogger` whose methods
+take an *event* string plus keyword context fields::
+
+    log = get_logger("repro.pipeline").bind(run="bench")
+    log.info("scenario.selected", scenario="2017_7", n_features=83)
+
+renders (key=value mode)::
+
+    12:00:01 INFO repro.pipeline scenario.selected run=bench scenario=2017_7 n_features=83
+
+or, in JSON mode, one JSON object per line.  Handlers are installed on
+the ``"repro"`` root logger only, so embedding applications keep full
+control via the standard ``logging`` APIs; nothing is emitted until
+:func:`configure_logging` runs (explicitly, via the ``REPRO_LOG_LEVEL``
+/ ``REPRO_LOG_JSON`` environment variables, or through the CLI flags).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+
+__all__ = [
+    "StructuredLogger",
+    "KeyValueFormatter",
+    "JsonFormatter",
+    "get_logger",
+    "configure_logging",
+    "logging_configured",
+    "reset_logging",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+ENV_JSON = "REPRO_LOG_JSON"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+#: The handler installed by :func:`configure_logging`, if any.
+_handler: logging.Handler | None = None
+
+
+def _format_value(value) -> str:
+    """One ``key=value`` right-hand side: compact, quoted when needed."""
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool) or value is None:
+        text = str(value).lower()
+    else:
+        text = str(value)
+    if " " in text or "=" in text or '"' in text or not text:
+        return json.dumps(text)
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger event key=value ...`` lines."""
+
+    def __init__(self, datefmt: str = "%H:%M:%S"):
+        super().__init__(fmt="%(message)s", datefmt=datefmt)
+
+    def format(self, record: logging.LogRecord) -> str:
+        head = (
+            f"{self.formatTime(record, self.datefmt)} "
+            f"{record.levelname} {record.name} {record.getMessage()}"
+        )
+        context = getattr(record, "context", None) or {}
+        pairs = " ".join(
+            f"{key}={_format_value(value)}" for key, value in context.items()
+        )
+        return f"{head} {pairs}" if pairs else head
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, "context", None) or {})
+        return json.dumps(payload, default=str)
+
+
+class StructuredLogger:
+    """Event + key=value wrapper around one stdlib logger."""
+
+    __slots__ = ("_logger", "_context")
+
+    def __init__(self, logger: logging.Logger, context: dict | None = None):
+        self._logger = logger
+        self._context = dict(context or {})
+
+    @property
+    def name(self) -> str:
+        """The underlying stdlib logger name."""
+        return self._logger.name
+
+    @property
+    def context(self) -> dict:
+        """Bound context fields (copy)."""
+        return dict(self._context)
+
+    def bind(self, **fields) -> "StructuredLogger":
+        """A child logger with extra context merged in."""
+        return StructuredLogger(self._logger, {**self._context, **fields})
+
+    def isEnabledFor(self, level: int) -> bool:
+        """Delegate level checks to the stdlib logger."""
+        return self._logger.isEnabledFor(level)
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            context = {**self._context, **fields}
+            self._logger.log(level, event, extra={"context": context})
+
+    def debug(self, event: str, **fields) -> None:
+        """Log at DEBUG level."""
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Log at INFO level."""
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Log at WARNING level."""
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Log at ERROR level."""
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str | None = None, **context) -> StructuredLogger:
+    """A structured logger under the ``repro`` namespace.
+
+    ``get_logger("fra")`` and ``get_logger("repro.fra")`` address the
+    same stdlib logger; keyword arguments become bound context.
+    """
+    if not name:
+        full = ROOT_LOGGER_NAME
+    elif name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        full = name
+    else:
+        full = f"{ROOT_LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(full), context)
+
+
+def _resolve_level(level) -> int:
+    if level is None:
+        return logging.WARNING
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure_logging(
+    level=None,
+    json_mode: bool | None = None,
+    stream=None,
+) -> logging.Handler:
+    """Install (or replace) the console handler on the ``repro`` logger.
+
+    Parameters
+    ----------
+    level:
+        ``"debug" | "info" | "warning" | "error" | "critical"`` (or a
+        stdlib numeric level).  Defaults to ``$REPRO_LOG_LEVEL`` and
+        falls back to ``warning``.
+    json_mode:
+        Emit JSON lines instead of key=value text.  Defaults to
+        ``$REPRO_LOG_JSON`` being ``1``/``true``/``yes``.
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+
+    Safe to call repeatedly — the previous handler is removed first.
+    """
+    global _handler
+    if level is None:
+        level = os.environ.get(ENV_LEVEL) or None
+    if json_mode is None:
+        json_mode = os.environ.get(ENV_JSON, "").lower() in (
+            "1", "true", "yes", "on",
+        )
+    numeric = _resolve_level(level)
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode
+                         else KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    _handler = handler
+    return handler
+
+
+def logging_configured() -> bool:
+    """Whether :func:`configure_logging` installed a handler."""
+    return _handler is not None
+
+
+def reset_logging() -> None:
+    """Remove the installed handler and restore logger defaults."""
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+        _handler = None
+    root.setLevel(logging.NOTSET)
+    root.propagate = True

@@ -1,0 +1,222 @@
+"""Run metrics: counters, gauges, and histograms with snapshots.
+
+A :class:`MetricsRegistry` hands out named instruments::
+
+    metrics = MetricsRegistry()
+    metrics.counter("fra.features_eliminated").inc(12)
+    metrics.gauge("experiment.scenarios").set(10)
+    metrics.histogram("improvement.mse").observe(mse)
+
+``snapshot()`` returns a plain nested dict (counters, gauges, histogram
+summaries with percentiles) — JSON-ready for run reports and bench
+artefacts.  All instruments share one registry lock, so concurrent
+updates from worker threads are safe.
+
+Like :mod:`repro.obs.trace`, the module keeps a *current* registry so
+instrumented library code needs no explicit plumbing; the pipeline
+installs a fresh registry per run via :func:`use_metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "set_current_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A distribution of observed values with percentile queries."""
+
+    __slots__ = ("name", "_lock", "_values")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """All observations, in arrival order (copy)."""
+        with self._lock:
+            return list(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._values:
+                raise ValueError(f"histogram {self.name!r} is empty")
+            ordered = sorted(self._values)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def summary(self) -> dict:
+        """count/min/max/mean/p50/p90/p99 as a plain dict."""
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0}
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, name: str, factory):
+        with self._lock:
+            instrument = table.get(name)
+            if instrument is None:
+                instrument = table[name] = factory(name, self._lock)
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        return self._get(self._histograms, name, Histogram)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(histograms.items())
+            },
+        }
+
+    def clear(self) -> None:
+        """Forget every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+_current: MetricsRegistry = _default_registry
+_current_lock = threading.Lock()
+
+
+def current_metrics() -> MetricsRegistry:
+    """The registry instrumented library code records into."""
+    return _current
+
+
+def set_current_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as current; returns the previous one."""
+    global _current
+    with _current_lock:
+        previous = _current
+        _current = registry
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry):
+    """Temporarily install ``registry`` as the current registry."""
+    previous = set_current_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_current_metrics(previous)

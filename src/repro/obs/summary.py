@@ -1,0 +1,192 @@
+"""Run summaries: aggregate span/metric views and their renderings.
+
+:class:`RunSummary` is the per-run telemetry bundle the pipeline
+attaches to ``ExperimentResults.run_summary``: the full span list, a
+metrics snapshot, and aggregate accessors.  The module also hosts the
+pure functions the ``repro trace-summary`` CLI renders with —
+:func:`aggregate_spans` (per-name stats with self-time),
+:func:`stage_breakdown` (top-level stage → seconds), and
+:func:`slowest_spans`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .trace import Span
+
+__all__ = [
+    "RunSummary",
+    "aggregate_spans",
+    "stage_breakdown",
+    "slowest_spans",
+    "format_runtime",
+    "format_stage_table",
+    "format_slowest",
+]
+
+
+def format_runtime(seconds: float) -> str:
+    """Human runtime: ``412ms`` / ``3.42s`` / ``48.1s`` / ``12m 05s``."""
+    if seconds < 0:
+        raise ValueError("runtime cannot be negative")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 10.0:
+        return f"{seconds:.2f}s"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {rest:02.0f}s"
+
+
+def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
+    """Per-name stats: count, total/self/mean/max seconds.
+
+    *Self* time is a span's duration minus its direct children's, so a
+    parent stage is not double-counted against the work nested inside
+    it; summing ``self_s`` over all names recovers total traced time.
+    """
+    child_time: dict[int, float] = {}
+    for record in spans:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration
+            )
+    stats: dict[str, dict] = {}
+    for record in spans:
+        entry = stats.setdefault(record.name, {
+            "count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0,
+        })
+        entry["count"] += 1
+        entry["total_s"] += record.duration
+        entry["self_s"] += record.duration - child_time.get(
+            record.span_id, 0.0
+        )
+        entry["max_s"] = max(entry["max_s"], record.duration)
+    for entry in stats.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return dict(
+        sorted(stats.items(), key=lambda kv: -kv[1]["total_s"])
+    )
+
+
+def stage_breakdown(spans: list[Span]) -> dict[str, float]:
+    """Self-time grouped by stage (the prefix before the first dot).
+
+    ``fra.iteration`` and ``fra.reduce`` both land in stage ``fra``;
+    ordering follows each stage's first appearance in the trace, which
+    for the pipeline matches execution order.
+    """
+    out: dict[str, float] = {}
+    child_time: dict[int, float] = {}
+    for record in spans:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration
+            )
+    for record in sorted(spans, key=lambda s: s.start):
+        stage = record.name.split(".", 1)[0]
+        self_s = record.duration - child_time.get(record.span_id, 0.0)
+        out[stage] = out.get(stage, 0.0) + self_s
+    return out
+
+
+def slowest_spans(spans: list[Span], n: int = 10) -> list[Span]:
+    """The ``n`` longest individual spans, longest first."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return sorted(spans, key=lambda s: -s.duration)[:n]
+
+
+def format_stage_table(spans: list[Span]) -> str:
+    """The aggregate per-span-name table ``trace-summary`` prints."""
+    stats = aggregate_spans(spans)
+    headers = ("span", "count", "total", "self", "mean", "max")
+    rows = [
+        (
+            name,
+            str(entry["count"]),
+            format_runtime(entry["total_s"]),
+            format_runtime(entry["self_s"]),
+            format_runtime(entry["mean_s"]),
+            format_runtime(entry["max_s"]),
+        )
+        for name, entry in stats.items()
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_slowest(spans: list[Span], n: int = 10) -> str:
+    """The ``n`` slowest spans with their attributes, one per line."""
+    lines = [f"slowest {min(n, len(spans))} spans:"]
+    for record in slowest_spans(spans, n):
+        attrs = " ".join(f"{k}={v}" for k, v in record.attrs.items())
+        suffix = f" {attrs}" if attrs else ""
+        lines.append(
+            f"  {format_runtime(record.duration):>8}  "
+            f"{record.name}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class RunSummary:
+    """Telemetry bundle for one experiment run."""
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Duration of the root span (falls back to span extent)."""
+        roots = [s for s in self.spans if s.parent_id is None]
+        if roots:
+            return max(s.duration for s in roots)
+        if self.spans:
+            return (max(s.end for s in self.spans)
+                    - min(s.start for s in self.spans))
+        return 0.0
+
+    def stages(self) -> dict[str, dict]:
+        """Per-span-name aggregate stats (see :func:`aggregate_spans`)."""
+        return aggregate_spans(self.spans)
+
+    def breakdown(self) -> dict[str, float]:
+        """Stage → self-seconds (see :func:`stage_breakdown`)."""
+        return stage_breakdown(self.spans)
+
+    def breakdown_line(self) -> str:
+        """One-line stage breakdown for console reports."""
+        parts = [
+            f"{stage} {format_runtime(seconds)}"
+            for stage, seconds in self.breakdown().items()
+            if stage != "experiment"
+        ]
+        return " | ".join(parts)
+
+    def stage_table(self) -> str:
+        """Rendered aggregate table (see :func:`format_stage_table`)."""
+        return format_stage_table(self.spans)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: aggregates + metrics (not raw spans)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "stages": self.stages(),
+            "breakdown": self.breakdown(),
+            "metrics": dict(self.metrics),
+        }

@@ -13,6 +13,7 @@ from ..categories import DataCategory
 from ..frame.frame import Frame
 from ..frame.ops import concat_columns
 from ..indicators.suite import technical_indicator_frame
+from ..obs import current_metrics, span
 from .config import SimulationConfig
 from .latent import LatentMarket, generate_latent_market
 from .macro import generate_macro
@@ -77,35 +78,49 @@ def generate_raw_dataset(
 ) -> RawDataset:
     """Run the full simulator and assemble the joined feature frame."""
     config = config if config is not None else SimulationConfig()
-    latent = generate_latent_market(config)
-    universe = generate_universe(config, latent)
+    with span("synth.dataset", seed=config.seed):
+        with span("synth.latent"):
+            latent = generate_latent_market(config)
+        with span("synth.universe", n_assets=config.n_assets):
+            universe = generate_universe(config, latent)
 
-    parts: list[tuple[Frame, DataCategory]] = [
-        (technical_indicator_frame(universe.btc), DataCategory.TECHNICAL),
-        (generate_btc_onchain(config, latent, universe),
-         DataCategory.ONCHAIN_BTC),
-        (generate_usdc_onchain(config, latent, universe),
-         DataCategory.ONCHAIN_USDC),
-        (generate_sentiment(config, latent), DataCategory.SENTIMENT),
-        (generate_tradfi(config, latent), DataCategory.TRADFI),
-        (generate_macro(config, latent), DataCategory.MACRO),
-    ]
-    if config.include_eth:
-        parts.insert(3, (
-            generate_eth_onchain(config, latent, universe),
-            DataCategory.ONCHAIN_ETH,
-        ))
+        generators: list[tuple[DataCategory, object]] = [
+            (DataCategory.TECHNICAL,
+             lambda: technical_indicator_frame(universe.btc)),
+            (DataCategory.ONCHAIN_BTC,
+             lambda: generate_btc_onchain(config, latent, universe)),
+            (DataCategory.ONCHAIN_USDC,
+             lambda: generate_usdc_onchain(config, latent, universe)),
+            (DataCategory.SENTIMENT,
+             lambda: generate_sentiment(config, latent)),
+            (DataCategory.TRADFI,
+             lambda: generate_tradfi(config, latent)),
+            (DataCategory.MACRO,
+             lambda: generate_macro(config, latent)),
+        ]
+        if config.include_eth:
+            generators.insert(3, (
+                DataCategory.ONCHAIN_ETH,
+                lambda: generate_eth_onchain(config, latent, universe),
+            ))
 
-    categories: dict[str, DataCategory] = {}
-    for frame, category in parts:
-        for name in frame.columns:
-            if name in categories:
-                raise ValueError(
-                    f"duplicate metric name across categories: {name!r}"
-                )
-            categories[name] = category
+        parts: list[tuple[Frame, DataCategory]] = []
+        for category, make in generators:
+            with span("synth.category", category=category.value):
+                parts.append((make(), category))
 
-    features = concat_columns(*(frame for frame, _ in parts))
+        categories: dict[str, DataCategory] = {}
+        for frame, category in parts:
+            for name in frame.columns:
+                if name in categories:
+                    raise ValueError(
+                        f"duplicate metric name across categories: "
+                        f"{name!r}"
+                    )
+                categories[name] = category
+
+        features = concat_columns(*(frame for frame, _ in parts))
+        current_metrics().gauge("synth.metrics").set(features.n_cols)
     return RawDataset(
         config=config,
         latent=latent,

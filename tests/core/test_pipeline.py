@@ -125,6 +125,99 @@ class TestImprovementTables:
             results.overall_improvement("2017", "svm")
 
 
+class TestRunTelemetry:
+    """The fast run must trace every pipeline stage (repro.obs)."""
+
+    def test_run_summary_attached(self, results):
+        summary = results.run_summary
+        assert summary.spans
+        assert summary.total_seconds > 0
+
+    def test_every_stage_traced(self, results):
+        # the shared fixture passes a pre-built dataset, so synth spans
+        # are exercised separately in test_dataset_generation_traced
+        names = {s.name for s in results.run_summary.spans}
+        assert {
+            "experiment.run",
+            "scenarios.build",
+            "fra.reduce",
+            "fra.iteration",
+            "selection.shap",
+            "selection.select",
+            "horizons.rf_importance",
+            "improvement.scenario",
+            "improvement.feature_set",
+        } <= names
+
+    def test_every_scenario_has_stage_spans(self, results):
+        spans = results.run_summary.spans
+        for stage in ("pipeline.scenario", "improvement.scenario",
+                      "horizons.rf_importance"):
+            traced = {
+                s.attrs.get("scenario") for s in spans if s.name == stage
+            }
+            assert set(results.artifacts) <= traced, stage
+
+    def test_spans_nest_under_root(self, results):
+        spans = results.run_summary.spans
+        roots = [s for s in spans if s.parent_id is None]
+        assert [s.name for s in roots] == ["experiment.run"]
+        ids = {s.span_id for s in spans}
+        for record in spans:
+            if record.parent_id is not None:
+                assert record.parent_id in ids
+
+    def test_metrics_recorded(self, results, fast_config):
+        metrics = results.run_summary.metrics
+        assert metrics["counters"]["fra.features_eliminated"] > 0
+        assert metrics["counters"]["fra.iterations"] > 0
+        n_scenarios = len(results.artifacts)
+        assert metrics["histograms"]["selection.shap_overlap"][
+            "count"] == n_scenarios
+        assert metrics["histograms"]["selection.final_size"][
+            "count"] == n_scenarios
+        # diverse + per-category MSEs for RF and GB across all scenarios
+        assert metrics["histograms"]["improvement.mse"]["count"] >= (
+            2 * n_scenarios
+        )
+        assert metrics["gauges"]["experiment.scenarios"] == n_scenarios
+
+    def test_stage_breakdown_covers_hot_stages(self, results):
+        breakdown = results.run_summary.breakdown()
+        for stage in ("scenarios", "fra", "selection",
+                      "horizons", "improvement"):
+            assert breakdown.get(stage, 0.0) > 0.0, stage
+
+    def test_dataset_generation_traced(self, fast_config):
+        from repro.obs import Tracer, use_tracer
+        from repro.synth import generate_raw_dataset
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            generate_raw_dataset(fast_config.simulation)
+        names = {s.name for s in tracer.spans}
+        assert {"synth.dataset", "synth.latent", "synth.universe",
+                "synth.category"} <= names
+        by_name = {}
+        for record in tracer.spans:
+            by_name.setdefault(record.name, []).append(record)
+        root = by_name["synth.dataset"][0]
+        assert all(s.parent_id == root.span_id
+                   for s in by_name["synth.category"])
+        categories = {
+            s.attrs["category"] for s in by_name["synth.category"]
+        }
+        assert "technical" in categories and "macro" in categories
+
+    def test_runs_use_isolated_tracers(self, results):
+        """A run's spans never leak into the ambient default tracer."""
+        from repro.obs import current_tracer
+
+        run_ids = {id(s) for s in results.run_summary.spans}
+        ambient = {id(s) for s in current_tracer().spans}
+        assert not run_ids & ambient
+
+
 class TestConfigPresets:
     def test_fast_preset_small(self):
         cfg = ExperimentConfig.fast()

@@ -1,0 +1,143 @@
+"""Structured logging facade: formatting, binding, configuration."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    configure_logging,
+    get_logger,
+    logging_configured,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging_state():
+    """Each test starts and ends with pristine handler state."""
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def capture(level="debug", json_mode=False):
+    stream = io.StringIO()
+    configure_logging(level=level, json_mode=json_mode, stream=stream)
+    return stream
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        assert get_logger("fra").name == "repro.fra"
+        assert get_logger("repro.fra").name == "repro.fra"
+        assert get_logger().name == "repro"
+
+    def test_bind_merges_context(self):
+        log = get_logger("x", run="r1").bind(scenario="2017_7")
+        assert log.context == {"run": "r1", "scenario": "2017_7"}
+
+
+class TestKeyValueOutput:
+    def test_event_and_fields_rendered(self):
+        stream = capture()
+        get_logger("pipeline").info("stage.done", scenario="2017_7",
+                                    n_features=83)
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.pipeline" in line
+        assert "stage.done" in line
+        assert "scenario=2017_7" in line
+        assert "n_features=83" in line
+
+    def test_float_fields_compact(self):
+        stream = capture()
+        get_logger("x").info("e", mse=0.123456789)
+        assert "mse=0.123457" in stream.getvalue()
+
+    def test_values_with_spaces_quoted(self):
+        stream = capture()
+        get_logger("x").info("e", note="two words")
+        assert 'note="two words"' in stream.getvalue()
+
+    def test_bound_context_included(self):
+        stream = capture()
+        get_logger("x").bind(run="r9").info("e", k=1)
+        line = stream.getvalue()
+        assert "run=r9" in line and "k=1" in line
+
+
+class TestJsonOutput:
+    def test_lines_parse_and_carry_fields(self):
+        stream = capture(json_mode=True)
+        get_logger("fra").info("iteration", n_removed=12)
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.fra"
+        assert payload["event"] == "iteration"
+        assert payload["n_removed"] == 12
+
+
+class TestConfiguration:
+    def test_level_filters(self):
+        stream = capture(level="warning")
+        log = get_logger("x")
+        log.info("hidden")
+        log.warning("shown")
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "shown" in output
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(level="info", stream=first)
+        configure_logging(level="info", stream=second)
+        get_logger("x").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_env_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("x").debug("deep")
+        assert "deep" in stream.getvalue()
+
+    def test_env_json(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("x").info("e")
+        assert json.loads(stream.getvalue())["event"] == "e"
+
+    def test_configured_flag_and_reset(self):
+        assert not logging_configured()
+        configure_logging(level="info", stream=io.StringIO())
+        assert logging_configured()
+        reset_logging()
+        assert not logging_configured()
+
+    def test_nothing_emitted_without_configuration(self, capsys):
+        # repro loggers stay silent (and don't hit the root logger's
+        # lastResort stderr handler at INFO) until configured
+        get_logger("x").info("quiet")
+        captured = capsys.readouterr()
+        assert "quiet" not in captured.out
+        assert "quiet" not in captured.err
+
+    def test_debug_calls_cheap_when_disabled(self):
+        stream = capture(level="warning")
+        log = get_logger("x")
+
+        class Exploding:
+            def __str__(self):
+                raise AssertionError("should never be rendered")
+
+        log.debug("skipped", value=Exploding())
+        assert stream.getvalue() == ""

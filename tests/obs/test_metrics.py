@@ -1,0 +1,156 @@
+"""Metrics registry: instruments, percentile math, snapshots, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc()
+        assert registry.counter("c").value == 2
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.add(-2.5)
+        assert gauge.value == pytest.approx(7.5)
+
+
+class TestHistogramPercentiles:
+    def test_median_even_count_interpolates(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1, 2, 3, 4):
+            hist.observe(value)
+        assert hist.percentile(50) == pytest.approx(2.5)
+
+    def test_endpoints(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (5, 1, 9):
+            hist.observe(value)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 9
+
+    def test_interpolation_between_ranks(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (0, 10):
+            hist.observe(value)
+        assert hist.percentile(25) == pytest.approx(2.5)
+
+    def test_uniform_1_to_100(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            hist.observe(value)
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(90) == pytest.approx(90.1)
+
+    def test_out_of_range_rejected(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_empty_histogram_rejected(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+
+    def test_summary_fields(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["p50"] == pytest.approx(4.0)
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+
+
+class TestSnapshot:
+    def test_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.gauge("b.level").set(1.5)
+        registry.histogram("c.dist").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a.count": 3}
+        assert snap["gauges"] == {"b.level": 1.5}
+        assert snap["histograms"]["c.dist"]["count"] == 1
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.clear()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestCurrentRegistry:
+    def test_use_metrics_installs_and_restores(self):
+        before = current_metrics()
+        mine = MetricsRegistry()
+        with use_metrics(mine):
+            assert current_metrics() is mine
+            current_metrics().counter("x").inc()
+        assert current_metrics() is before
+        assert mine.counter("x").value == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        n_threads, n_incs = 8, 1000
+
+        def work():
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=work)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == n_threads * n_incs
+
+    def test_concurrent_histogram_observes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("obs")
+
+        def work():
+            for i in range(500):
+                hist.observe(float(i))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 2000

@@ -1,0 +1,158 @@
+"""Run summary: runtime formatting, aggregation, stage breakdown."""
+
+import pytest
+
+from repro.obs import (
+    RunSummary,
+    Span,
+    aggregate_spans,
+    format_runtime,
+    format_slowest,
+    format_stage_table,
+    slowest_spans,
+    stage_breakdown,
+)
+
+
+def make_span(name, start, end, span_id, parent_id=None, **attrs):
+    return Span(name=name, start=start, end=end, span_id=span_id,
+                parent_id=parent_id, attrs=attrs)
+
+
+@pytest.fixture
+def trace():
+    """root(0..10) -> stage_a.work(1..4), stage_b.work(4..9)
+    with stage_a.work containing stage_a.inner(2..3)."""
+    return [
+        make_span("stage_a.inner", 2.0, 3.0, 3, parent_id=2),
+        make_span("stage_a.work", 1.0, 4.0, 2, parent_id=1),
+        make_span("stage_b.work", 4.0, 9.0, 4, parent_id=1,
+                  scenario="2017_7"),
+        make_span("experiment.run", 0.0, 10.0, 1),
+    ]
+
+
+class TestFormatRuntime:
+    @pytest.mark.parametrize("seconds,expected", [
+        (0.0, "0ms"),
+        (0.0004, "0ms"),
+        (0.412, "412ms"),
+        (0.9994, "999ms"),
+        (1.0, "1.00s"),
+        (3.456, "3.46s"),
+        (48.12, "48.1s"),
+        (65.0, "1m 05s"),
+        (725.4, "12m 05s"),
+    ])
+    def test_rendering(self, seconds, expected):
+        assert format_runtime(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_runtime(-1.0)
+
+    def test_sub_second_not_rendered_as_zero_seconds(self):
+        # the old ":.0f" formatting printed "0s" for any fast run
+        assert format_runtime(0.5) != "0s"
+
+
+class TestAggregateSpans:
+    def test_totals_and_self_time(self, trace):
+        stats = aggregate_spans(trace)
+        assert stats["experiment.run"]["total_s"] == pytest.approx(10.0)
+        # root self-time excludes its two direct children (3s + 5s)
+        assert stats["experiment.run"]["self_s"] == pytest.approx(2.0)
+        assert stats["stage_a.work"]["self_s"] == pytest.approx(2.0)
+        assert stats["stage_a.inner"]["self_s"] == pytest.approx(1.0)
+
+    def test_self_time_sums_to_total(self, trace):
+        stats = aggregate_spans(trace)
+        assert sum(e["self_s"] for e in stats.values()) == (
+            pytest.approx(10.0)
+        )
+
+    def test_sorted_by_total_descending(self, trace):
+        names = list(aggregate_spans(trace))
+        assert names[0] == "experiment.run"
+
+    def test_counts_and_mean(self):
+        spans = [
+            make_span("x.a", 0.0, 1.0, 1),
+            make_span("x.a", 1.0, 4.0, 2),
+        ]
+        stats = aggregate_spans(spans)
+        assert stats["x.a"]["count"] == 2
+        assert stats["x.a"]["mean_s"] == pytest.approx(2.0)
+        assert stats["x.a"]["max_s"] == pytest.approx(3.0)
+
+
+class TestStageBreakdown:
+    def test_groups_by_prefix_in_start_order(self, trace):
+        breakdown = stage_breakdown(trace)
+        assert list(breakdown) == ["experiment", "stage_a", "stage_b"]
+        assert breakdown["stage_a"] == pytest.approx(3.0)
+        assert breakdown["stage_b"] == pytest.approx(5.0)
+
+    def test_breakdown_line_skips_experiment(self, trace):
+        line = RunSummary(spans=trace).breakdown_line()
+        assert "experiment" not in line
+        assert "stage_a 3.00s" in line
+        assert "stage_b 5.00s" in line
+
+
+class TestSlowest:
+    def test_orders_by_duration(self, trace):
+        slowest = slowest_spans(trace, 2)
+        assert [s.name for s in slowest] == [
+            "experiment.run", "stage_b.work",
+        ]
+
+    def test_n_validated(self, trace):
+        with pytest.raises(ValueError):
+            slowest_spans(trace, 0)
+
+    def test_format_includes_attrs(self, trace):
+        text = format_slowest(trace, 3)
+        assert "scenario=2017_7" in text
+
+
+class TestRenderings:
+    def test_stage_table_contains_all_names(self, trace):
+        table = format_stage_table(trace)
+        for name in ("experiment.run", "stage_a.work",
+                     "stage_a.inner", "stage_b.work"):
+            assert name in table
+        assert "self" in table.splitlines()[0]
+
+    def test_stage_table_empty_trace(self):
+        table = format_stage_table([])
+        assert "span" in table
+
+
+class TestRunSummary:
+    def test_total_seconds_from_root(self, trace):
+        assert RunSummary(spans=trace).total_seconds == (
+            pytest.approx(10.0)
+        )
+
+    def test_total_seconds_without_root(self):
+        spans = [make_span("a.x", 1.0, 2.0, 1, parent_id=99)]
+        assert RunSummary(spans=spans).total_seconds == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_summary(self):
+        summary = RunSummary()
+        assert summary.total_seconds == 0.0
+        assert summary.breakdown_line() == ""
+
+    def test_to_dict_json_ready(self, trace):
+        import json
+
+        summary = RunSummary(
+            spans=trace, metrics={"counters": {"c": 1}},
+        )
+        payload = summary.to_dict()
+        json.dumps(payload)  # must serialise
+        assert payload["total_seconds"] == pytest.approx(10.0)
+        assert payload["metrics"]["counters"] == {"c": 1}

@@ -34,6 +34,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--preset", "huge"])
 
+    def test_run_observability_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "--log-level", "debug", "--log-json",
+             "--trace", str(tmp_path / "t.jsonl")]
+        )
+        assert args.log_level == "debug"
+        assert args.log_json
+        assert args.trace.name == "t.jsonl"
+
+    def test_run_observability_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.log_level is None
+        assert not args.log_json
+        assert args.trace is None
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--log-level", "loud"])
+
+    def test_trace_summary_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["trace-summary", str(tmp_path / "t.jsonl"), "--top", "3"]
+        )
+        assert args.command == "trace-summary"
+        assert args.top == 3
+
 
 class TestSimulateCommand:
     def test_writes_csv_bundle(self, tmp_path, capsys, monkeypatch):
@@ -114,6 +140,58 @@ class TestSimulateCommand:
             return original_config(*args, **kwargs)
 
         monkeypatch.setattr(cli, "SimulationConfig", small)
+
+
+class TestTraceSummaryCommand:
+    @staticmethod
+    def _write_trace(path):
+        from repro.obs import Tracer, write_jsonl
+
+        class Clock:
+            def __init__(self):
+                self.now = 0.0
+
+            def __call__(self):
+                self.now += 0.5
+                return self.now
+
+        tracer = Tracer(clock=Clock())
+        with tracer.span("experiment.run"):
+            with tracer.span("fra.reduce", scenario="2017_7"):
+                with tracer.span("fra.iteration", iteration=0):
+                    pass
+            with tracer.span("improvement.scenario", scenario="2017_7"):
+                pass
+        return write_jsonl(tracer.spans, path)
+
+    def test_renders_table_and_slowest(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path / "t.jsonl")
+        code = main(["trace-summary", str(path), "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment.run" in out
+        assert "fra.iteration" in out
+        assert "slowest 2 spans" in out
+        assert "scenario=2017_7" in out
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code = main(["trace-summary", str(path)])
+        assert code == 1
+        assert "no spans" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["trace-summary", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n")
+        code = main(["trace-summary", str(path)])
+        assert code == 1
+        assert "not a span trace" in capsys.readouterr().out
 
 
 class TestIndexCommand:

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.indicators",
     "repro.synth",
     "repro.core",
+    "repro.obs",
     "repro.stats",
     "repro.backtest",
     "repro.features",

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print(`` calls in library code.
+
+Library modules must log through :mod:`repro.obs` so output stays
+structured and configurable; only the CLI and the report renderers are
+user-facing text emitters.  The check parses each file with ``ast`` so
+``print`` mentioned inside docstrings or comments does not trip it.
+
+Usage: ``python tools/check_no_print.py [src-root]`` (default
+``src/repro``).  Exits 1 listing offenders, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules allowed to print: the CLI and the plain-text/markdown
+#: report renderers (paths relative to the scanned root).
+ALLOWED = {
+    "cli.py",
+    "core/report.py",
+    "core/reporting.py",
+}
+
+
+def find_print_calls(path: Path) -> list[int]:
+    """Line numbers of every ``print(...)`` call in a python file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    lines = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            lines.append(node.lineno)
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path("src/repro")
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWED:
+            continue
+        for lineno in find_print_calls(path):
+            offenders.append(f"{path}:{lineno}")
+    if offenders:
+        print("bare print() calls found (use repro.obs.get_logger):",
+              file=sys.stderr)
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print(f"ok: no bare print() outside {sorted(ALLOWED)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
