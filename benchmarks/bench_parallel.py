@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Wall-time benchmark for the :mod:`repro.parallel` execution layer.
+
+Measures the parallelised hot paths — forest fit, permutation
+importance, grid search, SHAP attribution and the pipeline scenario
+fan-out — at ``n_jobs`` ∈ {1, 2, 4} and writes the timings (plus the
+host's CPU count, which bounds the achievable speedup) to
+``benchmarks/results/BENCH_parallel.json``.
+
+Run directly — intentionally **not** a pytest module, because measured
+speedups depend on the host and would make flaky assertions::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+Every variant is also cross-checked against the serial result, so the
+bench doubles as a determinism audit at realistic sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pipeline import ExperimentConfig, run_experiment  # noqa: E402
+from repro.ml.forest import RandomForestRegressor  # noqa: E402
+from repro.ml.importance import permutation_importance  # noqa: E402
+from repro.ml.model_selection import GridSearchCV, KFold  # noqa: E402
+from repro.ml.shap import TreeExplainer  # noqa: E402
+from repro.ml.boosting import GradientBoostingRegressor  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+JOBS = (1, 2, 4)
+
+
+def _data(n_rows=1200, n_features=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_rows, n_features))
+    y = X[:, :5] @ rng.normal(size=5) + 0.2 * rng.normal(size=n_rows)
+    return X, y
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def bench_forest_fit(n_jobs):
+    X, y = _data()
+    return _timed(lambda: RandomForestRegressor(
+        n_estimators=24, max_depth=10, max_features="sqrt",
+        random_state=0, n_jobs=n_jobs,
+    ).fit(X, y).predict(X))
+
+
+def bench_pfi(n_jobs):
+    X, y = _data(n_rows=600)
+    model = RandomForestRegressor(
+        n_estimators=10, max_depth=8, max_features="sqrt", random_state=0,
+    ).fit(X, y)
+    return _timed(lambda: permutation_importance(
+        model, X, y, n_repeats=5, random_state=0, n_jobs=n_jobs,
+    ))
+
+
+def bench_grid_search(n_jobs):
+    X, y = _data(n_rows=500, n_features=30)
+    return _timed(lambda: GridSearchCV(
+        RandomForestRegressor(random_state=0),
+        {"n_estimators": [8, 16], "max_depth": [6, 10]},
+        cv=KFold(4, shuffle=True, random_state=0),
+        refit=False, n_jobs=n_jobs,
+    ).fit(X, y).best_score_)
+
+
+def bench_shap(n_jobs):
+    X, y = _data(n_rows=400, n_features=30)
+    model = GradientBoostingRegressor(
+        n_estimators=20, max_depth=4, random_state=0,
+    ).fit(X, y)
+    explainer = TreeExplainer(model)
+    return _timed(lambda: explainer.shap_values(X[:120], n_jobs=n_jobs))
+
+
+def bench_pipeline(n_jobs):
+    config = dataclasses.replace(
+        ExperimentConfig.fast(), windows=(7, 90), verbose=False,
+        n_jobs=n_jobs,
+    )
+    return _timed(lambda: run_experiment(config).table1_vector_sizes())
+
+
+BENCHES = {
+    "forest_fit": bench_forest_fit,
+    "pfi": bench_pfi,
+    "grid_search": bench_grid_search,
+    "shap": bench_shap,
+    "pipeline_fast": bench_pipeline,
+}
+
+
+def main() -> int:
+    payload = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "jobs": list(JOBS),
+        "note": ("speedup is bounded by cpu_count; on a single-core "
+                 "host the parallel path only demonstrates overhead "
+                 "and determinism, not scaling"),
+        "benchmarks": {},
+    }
+    for name, bench in BENCHES.items():
+        timings = {}
+        reference = None
+        identical = True
+        for n_jobs in JOBS:
+            seconds, value = bench(n_jobs)
+            timings[str(n_jobs)] = round(seconds, 3)
+            if reference is None:
+                reference = value
+            else:
+                same = (np.array_equal(reference, value)
+                        if isinstance(reference, np.ndarray)
+                        else reference == value)
+                identical = identical and bool(same)
+        speedup = (timings["1"] / timings[str(JOBS[-1])]
+                   if timings[str(JOBS[-1])] else float("nan"))
+        payload["benchmarks"][name] = {
+            "seconds": timings,
+            "speedup_vs_serial": round(speedup, 2),
+            "deterministic": identical,
+        }
+        print(f"{name:14s} " + "  ".join(
+            f"n_jobs={j}: {timings[str(j)]:7.3f}s" for j in JOBS
+        ) + f"  identical={identical}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_parallel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

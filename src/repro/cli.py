@@ -112,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit JSON log lines instead of key=value")
     run.add_argument("--trace", type=Path, default=None, metavar="PATH",
                      help="write the run's span trace to this JSONL file")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for the scenario fan-out "
+                          "(default: $REPRO_JOBS or all cores; 1 = serial; "
+                          "results are identical for any value)")
 
     index = sub.add_parser(
         "index", help="Crypto100 scaling-factor analysis"
@@ -206,6 +210,8 @@ def _cmd_run(args) -> int:
     config = make_config(seed=args.seed)
     if config.verbose == args.quiet:  # align verbosity with --quiet
         config = dataclasses.replace(config, verbose=not args.quiet)
+    if args.jobs is not None:
+        config = dataclasses.replace(config, n_jobs=args.jobs)
     results = run_experiment(config)
     report = _render_full_report(results)
     print(report)

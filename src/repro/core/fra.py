@@ -57,6 +57,10 @@ class FRAConfig:
     pfi_max_rows: int = 400
     max_iterations: int = 80
     random_state: int = 0
+    n_jobs: int | None = 1
+    """Workers for the RF fits and PFI passes inside every iteration
+    (``1`` = serial; ``None`` resolves ``REPRO_JOBS`` → all cores).
+    Results are bit-identical for any value."""
 
     def __post_init__(self):
         if self.target_size < 1:
@@ -95,7 +99,8 @@ def _bottom_half_mask(scores: np.ndarray) -> np.ndarray:
 def _consensus_scores(X, y, names, config, rng) -> np.ndarray:
     """Stack the four method scores as rows of a (4, n_features) matrix."""
     rf = RandomForestRegressor(
-        random_state=int(rng.integers(2**31)), **config.rf_params
+        random_state=int(rng.integers(2**31)), n_jobs=config.n_jobs,
+        **config.rf_params
     ).fit(X, y)
     gb = GradientBoostingRegressor(
         random_state=int(rng.integers(2**31)), **config.gb_params
@@ -109,11 +114,11 @@ def _consensus_scores(X, y, names, config, rng) -> np.ndarray:
         X_pfi, y_pfi = X, y
     rf_pfi = permutation_importance(
         rf, X_pfi, y_pfi, n_repeats=config.pfi_repeats,
-        random_state=int(rng.integers(2**31)),
+        random_state=int(rng.integers(2**31)), n_jobs=config.n_jobs,
     )
     gb_pfi = permutation_importance(
         gb, X_pfi, y_pfi, n_repeats=config.pfi_repeats,
-        random_state=int(rng.integers(2**31)),
+        random_state=int(rng.integers(2**31)), n_jobs=config.n_jobs,
     )
     return np.vstack([
         rf.feature_importances_,

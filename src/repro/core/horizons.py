@@ -51,8 +51,13 @@ def rf_feature_importance(
     feature_subset: list[str],
     rf_params: dict | None = None,
     random_state: int = 0,
+    n_jobs: int | None = 1,
 ) -> dict[str, float]:
-    """MDI importance of a random forest trained on a feature subset."""
+    """MDI importance of a random forest trained on a feature subset.
+
+    ``n_jobs`` fans the per-tree fits across workers; the importances
+    are bit-identical for any value.
+    """
     with span("horizons.rf_importance", scenario=scenario.key,
               n_features=len(feature_subset)):
         sub = scenario.select_features(feature_subset)
@@ -61,7 +66,7 @@ def rf_feature_importance(
             "min_samples_leaf": 2,
         }
         model = RandomForestRegressor(
-            random_state=random_state, **params
+            random_state=random_state, n_jobs=n_jobs, **params
         ).fit(sub.X, sub.y)
         return dict(zip(sub.feature_names,
                         (float(v) for v in model.feature_importances_)))

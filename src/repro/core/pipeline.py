@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from functools import partial
 
 from ..categories import DataCategory
 from ..obs import (
@@ -28,9 +29,11 @@ from ..obs import (
     configure_logging,
     get_logger,
     logging_configured,
+    span,
     use_metrics,
     use_tracer,
 )
+from ..parallel import ParallelMap, resolve_n_jobs
 from ..synth.config import SimulationConfig
 from ..synth.dataset import RawDataset, generate_raw_dataset
 from .contribution import contribution_factors
@@ -85,6 +88,12 @@ class ExperimentConfig:
     })
     run_gb_validation: bool = True
     verbose: bool = False
+    n_jobs: int | None = None
+    """Scenario fan-out width: each (period, window) scenario — feature
+    selection, horizon importances and the improvement studies — runs as
+    one work unit on its own worker.  ``None`` resolves ``REPRO_JOBS`` →
+    all cores; ``1`` forces the serial path.  Every scenario is seeded
+    independently, so results are identical for any value."""
 
     # ------------------------------------------------------------------
     @classmethod
@@ -329,6 +338,50 @@ class ExperimentResults:
         raise ValueError(f"unknown model family {model!r}")
 
 
+def _scenario_task(item: tuple, config: ExperimentConfig
+                   ) -> tuple[str, ScenarioArtifacts,
+                              ScenarioImprovement,
+                              ScenarioImprovement | None]:
+    """Everything the study computes for one scenario (one work unit).
+
+    Runs identically inline (serial pipeline) or in a worker process:
+    spans/metrics flow into whatever tracer/registry is current, which
+    under :class:`~repro.parallel.ParallelMap`'s process backend is a
+    worker-local pair that gets merged back into the parent run.
+    """
+    key, scenario = item
+    slog = get_logger("pipeline").bind(scenario=key)
+    with span("pipeline.scenario", scenario=key):
+        slog.info("selection.start", candidates=scenario.n_features)
+        selection = select_final_features(
+            scenario.X, scenario.y, scenario.feature_names,
+            fra_config=config.fra, shap_config=config.shap,
+            top_k=config.top_k,
+        )
+        slog.info("selection.done", final=selection.n_features,
+                  shap_overlap=selection.overlap_top100)
+        importance = rf_feature_importance(
+            scenario, selection.final_features,
+            rf_params=config.rf_importance_params,
+        )
+        artifact = ScenarioArtifacts(
+            scenario=scenario,
+            selection=selection,
+            rf_importance=importance,
+        )
+        slog.info("improvement.start", model="rf")
+        improvement_rf = scenario_improvements(
+            scenario, selection.final_features, config.improvement_rf,
+        )
+        improvement_gb = None
+        if config.run_gb_validation:
+            slog.info("improvement.start", model="gb")
+            improvement_gb = scenario_improvements(
+                scenario, selection.final_features, config.improvement_gb,
+            )
+    return key, artifact, improvement_rf, improvement_gb
+
+
 def run_experiment(config: ExperimentConfig | None = None,
                    raw: RawDataset | None = None,
                    tracer: Tracer | None = None,
@@ -341,6 +394,10 @@ def run_experiment(config: ExperimentConfig | None = None,
     results' :class:`~repro.obs.RunSummary`.  ``config.verbose=True`` is
     an alias for INFO-level console logging (unless the application
     already configured :mod:`repro.obs` logging explicitly).
+
+    ``config.n_jobs`` (CLI: ``repro run --jobs N``) fans the scenarios
+    out over worker processes; worker telemetry is merged back, so the
+    run summary accounts for all work regardless of where it ran.
     """
     config = config if config is not None else ExperimentConfig.default()
     started = time.perf_counter()
@@ -349,6 +406,7 @@ def run_experiment(config: ExperimentConfig | None = None,
     if config.verbose and not logging_configured():
         configure_logging(level="info")
     log = get_logger("pipeline")
+    jobs = resolve_n_jobs(config.n_jobs)
 
     with use_tracer(tracer), use_metrics(metrics), \
             tracer.span("experiment.run"):
@@ -357,49 +415,26 @@ def run_experiment(config: ExperimentConfig | None = None,
             raw = generate_raw_dataset(config.simulation)
 
         log.info("scenarios.build", periods=",".join(config.periods),
-                 windows=",".join(str(w) for w in config.windows))
+                 windows=",".join(str(w) for w in config.windows),
+                 jobs=jobs)
         with tracer.span("pipeline.scenarios"):
             scenarios = build_all_scenarios(
                 raw, periods=config.periods, windows=config.windows
             )
         metrics.gauge("experiment.scenarios").set(len(scenarios))
 
+        outcomes = ParallelMap(jobs).map(
+            partial(_scenario_task, config=config),
+            list(scenarios.items()),
+        )
         artifacts: dict[str, ScenarioArtifacts] = {}
         improvements_rf: list[ScenarioImprovement] = []
         improvements_gb: list[ScenarioImprovement] = []
-        for key, scenario in scenarios.items():
-            slog = log.bind(scenario=key)
-            with tracer.span("pipeline.scenario", scenario=key):
-                slog.info("selection.start",
-                          candidates=scenario.n_features)
-                selection = select_final_features(
-                    scenario.X, scenario.y, scenario.feature_names,
-                    fra_config=config.fra, shap_config=config.shap,
-                    top_k=config.top_k,
-                )
-                slog.info("selection.done",
-                          final=selection.n_features,
-                          shap_overlap=selection.overlap_top100)
-                importance = rf_feature_importance(
-                    scenario, selection.final_features,
-                    rf_params=config.rf_importance_params,
-                )
-                artifacts[key] = ScenarioArtifacts(
-                    scenario=scenario,
-                    selection=selection,
-                    rf_importance=importance,
-                )
-                slog.info("improvement.start", model="rf")
-                improvements_rf.append(scenario_improvements(
-                    scenario, selection.final_features,
-                    config.improvement_rf,
-                ))
-                if config.run_gb_validation:
-                    slog.info("improvement.start", model="gb")
-                    improvements_gb.append(scenario_improvements(
-                        scenario, selection.final_features,
-                        config.improvement_gb,
-                    ))
+        for key, artifact, improvement_rf, improvement_gb in outcomes:
+            artifacts[key] = artifact
+            improvements_rf.append(improvement_rf)
+            if improvement_gb is not None:
+                improvements_gb.append(improvement_gb)
 
     runtime = time.perf_counter() - started
     log.info("experiment.done", scenarios=len(artifacts),

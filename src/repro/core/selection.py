@@ -42,6 +42,9 @@ class SHAPConfig:
     })
     max_rows: int = 120
     random_state: int = 0
+    n_jobs: int | None = 1
+    """Workers for the per-sample TreeSHAP attribution (``1`` = serial;
+    ``None`` resolves ``REPRO_JOBS`` → all cores)."""
 
 
 @dataclass
@@ -80,7 +83,7 @@ def shap_ranking(X, y, feature_names,
         ).fit(X, y)
         importance = shap_importance(
             model, X, max_samples=config.max_rows,
-            random_state=config.random_state,
+            random_state=config.random_state, n_jobs=config.n_jobs,
         )
         order = np.argsort(-importance, kind="stable")
         return [names[i] for i in order]

@@ -4,15 +4,36 @@ Random forests are one of the paper's two model families (§3.2): they are
 fine-tuned with 5-fold cross-validation grid search, provide MDI feature
 importances for the Feature Reduction Algorithm, and measure the
 performance-improvement results of §4.3.
+
+Tree fitting is embarrassingly parallel: each tree's bootstrap draw and
+node-level feature subsampling run off an independent
+``SeedSequence.spawn`` child, so ``n_jobs=1`` and ``n_jobs=N`` produce
+bit-identical forests (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
+from ..parallel import ParallelMap, spawn_seeds
 from .tree import DecisionTreeRegressor
 
 __all__ = ["RandomForestRegressor"]
+
+
+def _fit_tree(seed, X, y, tree_params, bootstrap):
+    """Fit one tree from its own seed sequence (a pure work unit)."""
+    rng = np.random.default_rng(seed)
+    tree = DecisionTreeRegressor(
+        random_state=int(rng.integers(0, 2**32 - 1)), **tree_params
+    )
+    if bootstrap:
+        n_samples = X.shape[0]
+        sample = rng.integers(0, n_samples, size=n_samples)
+        return tree.fit(X[sample], y[sample])
+    return tree.fit(X, y)
 
 
 class RandomForestRegressor:
@@ -31,6 +52,11 @@ class RandomForestRegressor:
         Draw each tree's training set with replacement (size ``n``).
     random_state:
         Seed controlling bootstrap draws and per-node feature subsets.
+        Results do not depend on ``n_jobs``.
+    n_jobs:
+        Trees fitted concurrently. ``1`` (default) is strictly serial;
+        ``None`` resolves via ``REPRO_JOBS`` → all cores; negative
+        counts back from the CPU total.
     """
 
     def __init__(
@@ -43,6 +69,7 @@ class RandomForestRegressor:
         min_impurity_decrease: float = 0.0,
         bootstrap: bool = True,
         random_state=None,
+        n_jobs: int | None = 1,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -54,6 +81,7 @@ class RandomForestRegressor:
         self.min_impurity_decrease = min_impurity_decrease
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.estimators_: list[DecisionTreeRegressor] = []
         self.n_features_in_: int | None = None
 
@@ -69,6 +97,7 @@ class RandomForestRegressor:
             "min_impurity_decrease": self.min_impurity_decrease,
             "bootstrap": self.bootstrap,
             "random_state": self.random_state,
+            "n_jobs": self.n_jobs,
         }
 
     def set_params(self, **params) -> "RandomForestRegressor":
@@ -88,25 +117,18 @@ class RandomForestRegressor:
             raise ValueError("X must be 2-D")
         if X.shape[0] != y.size:
             raise ValueError("X and y have inconsistent lengths")
-        n_samples = X.shape[0]
         self.n_features_in_ = X.shape[1]
-        rng = np.random.default_rng(self.random_state)
-        self.estimators_ = []
-        for _ in range(self.n_estimators):
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                min_impurity_decrease=self.min_impurity_decrease,
-                random_state=rng.integers(0, 2**32 - 1),
-            )
-            if self.bootstrap:
-                sample = rng.integers(0, n_samples, size=n_samples)
-                tree.fit(X[sample], y[sample])
-            else:
-                tree.fit(X, y)
-            self.estimators_.append(tree)
+        tree_params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "min_impurity_decrease": self.min_impurity_decrease,
+        }
+        seeds = spawn_seeds(self.random_state, self.n_estimators)
+        fit_one = partial(_fit_tree, X=X, y=y, tree_params=tree_params,
+                          bootstrap=self.bootstrap)
+        self.estimators_ = ParallelMap(self.n_jobs).map(fit_one, seeds)
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -117,18 +139,21 @@ class RandomForestRegressor:
             raise ValueError(
                 f"X must be 2-D with {self.n_features_in_} features"
             )
-        out = np.zeros(X.shape[0], dtype=np.float64)
-        for tree in self.estimators_:
-            out += tree.tree_.predict(X)
-        return out / len(self.estimators_)
+        stacked = np.empty((len(self.estimators_), X.shape[0]),
+                           dtype=np.float64)
+        for i, tree in enumerate(self.estimators_):
+            stacked[i] = tree.tree_.predict(X)
+        return stacked.mean(axis=0)
 
     @property
     def feature_importances_(self) -> np.ndarray:
         """MDI importances averaged over trees and normalised to sum 1."""
         self._check_fitted()
-        acc = np.zeros(self.n_features_in_, dtype=np.float64)
-        for tree in self.estimators_:
-            acc += tree.feature_importances_
+        stacked = np.empty((len(self.estimators_), self.n_features_in_),
+                           dtype=np.float64)
+        for i, tree in enumerate(self.estimators_):
+            stacked[i] = tree.feature_importances_
+        acc = stacked.sum(axis=0)
         total = acc.sum()
         return acc / total if total > 0 else acc
 

@@ -170,6 +170,43 @@ class MetricsRegistry:
         """Get or create a histogram."""
         return self._get(self._histograms, name, Histogram)
 
+    def dump(self) -> dict:
+        """Lossless instrument values (histograms keep raw observations).
+
+        Unlike :meth:`snapshot` (which summarises histograms into
+        percentiles) this is the exchange format for :meth:`merge`:
+        worker processes ``dump()`` their registry and the parent merges
+        it, so merged histograms stay exact.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    n: c._value for n, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    n: g._value for n, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    n: list(h._values)
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, histograms extend with the raw observations, and
+        gauges take the incoming value (last merge wins).
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in dump.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
     def snapshot(self) -> dict:
         """A JSON-ready dump of every instrument."""
         with self._lock:

@@ -45,7 +45,10 @@ def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
 
     *Self* time is a span's duration minus its direct children's, so a
     parent stage is not double-counted against the work nested inside
-    it; summing ``self_s`` over all names recovers total traced time.
+    it; summing ``self_s`` over all names recovers total traced time
+    for serial runs.  Children absorbed from parallel workers overlap
+    in wall-clock and can exceed their parent's duration, so self time
+    is floored at zero.
     """
     child_time: dict[int, float] = {}
     for record in spans:
@@ -60,8 +63,8 @@ def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
         })
         entry["count"] += 1
         entry["total_s"] += record.duration
-        entry["self_s"] += record.duration - child_time.get(
-            record.span_id, 0.0
+        entry["self_s"] += max(
+            0.0, record.duration - child_time.get(record.span_id, 0.0)
         )
         entry["max_s"] = max(entry["max_s"], record.duration)
     for entry in stats.values():
@@ -87,7 +90,9 @@ def stage_breakdown(spans: list[Span]) -> dict[str, float]:
             )
     for record in sorted(spans, key=lambda s: s.start):
         stage = record.name.split(".", 1)[0]
-        self_s = record.duration - child_time.get(record.span_id, 0.0)
+        self_s = max(
+            0.0, record.duration - child_time.get(record.span_id, 0.0)
+        )
         out[stage] = out.get(stage, 0.0) + self_s
     return out
 

@@ -150,6 +150,60 @@ class Tracer:
                         and len(self._spans) > self.max_spans):
                     del self._spans[:len(self._spans) - self.max_spans]
 
+    def current_span_id(self) -> int | None:
+        """Id of the innermost span open in this thread (None at top)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def attach(self, parent_id: int | None):
+        """Nest this thread's subsequent spans under ``parent_id``.
+
+        Worker threads use this so their spans parent to the span that
+        was open in the submitting thread (thread-local stacks would
+        otherwise make them roots).  ``attach(None)`` is a no-op.
+        """
+        if parent_id is None:
+            yield
+            return
+        stack = self._stack()
+        stack.append(parent_id)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def absorb(self, records, parent_id: int | None = None) -> None:
+        """Merge completed spans from another tracer into this one.
+
+        ``records`` are :class:`Span` objects or ``to_dict()`` payloads
+        (what worker processes ship back).  Span ids are re-issued from
+        this tracer's counter so they stay unique; parent links between
+        the absorbed spans are preserved, and spans that were roots in
+        the worker are re-parented under ``parent_id``.
+        """
+        spans = [
+            record if isinstance(record, Span) else Span.from_dict(record)
+            for record in records
+        ]
+        if not spans or not self.enabled:
+            return
+        with self._lock:
+            mapping: dict[int, int] = {}
+            for record in spans:
+                mapping[record.span_id] = self._next_id
+                self._next_id += 1
+            for record in spans:
+                record.span_id = mapping[record.span_id]
+                record.parent_id = (
+                    mapping.get(record.parent_id, parent_id)
+                    if record.parent_id is not None else parent_id
+                )
+            self._spans.extend(spans)
+            if (self.max_spans is not None
+                    and len(self._spans) > self.max_spans):
+                del self._spans[:len(self._spans) - self.max_spans]
+
     # ------------------------------------------------------------------
     @property
     def spans(self) -> list[Span]:

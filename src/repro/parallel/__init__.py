@@ -1,0 +1,50 @@
+"""Deterministic multi-core execution for the experiment pipeline.
+
+``repro.parallel`` is the stdlib-only execution layer behind every hot
+loop in the package: per-tree forest fitting, per-feature permutation
+importance, candidate×fold grid-search evaluation, TreeSHAP rows, and
+the pipeline's per-scenario fan-out.
+
+Design contract:
+
+* **Determinism** — callers pre-derive all randomness (via
+  :func:`spawn_seeds` / up-front permutation draws) before fanning out,
+  so results are bit-identical for any ``n_jobs`` and any backend.
+* **Worker-count resolution** — explicit ``n_jobs`` argument →
+  ``REPRO_JOBS`` environment variable → ``os.cpu_count()``
+  (:func:`resolve_n_jobs`); ``n_jobs=1`` is a guaranteed serial fast
+  path that never constructs a pool.
+* **Observability** — process workers run under a fresh
+  :class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry` whose
+  spans and metric values are merged back into the parent's current
+  tracer and registry, so ``repro trace-summary`` accounts for all work
+  no matter where it ran.
+* **No nested pools** — a :class:`ParallelMap` used inside a worker runs
+  inline, so parallel estimators compose safely under a parallel
+  pipeline without oversubscribing the machine.
+
+Quick tour::
+
+    from repro.parallel import ParallelMap, resolve_n_jobs, spawn_seeds
+
+    seeds = spawn_seeds(random_state=0, n=100)      # order-independent
+    results = ParallelMap(n_jobs=4).map(fit_one, seeds)
+"""
+
+from .executor import (
+    ParallelMap,
+    in_worker,
+    parallel_map,
+    resolve_backend,
+    resolve_n_jobs,
+)
+from .seeding import spawn_seeds
+
+__all__ = [
+    "ParallelMap",
+    "in_worker",
+    "parallel_map",
+    "resolve_backend",
+    "resolve_n_jobs",
+    "spawn_seeds",
+]

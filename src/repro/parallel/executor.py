@@ -1,0 +1,263 @@
+"""``ParallelMap``: ordered, deterministic fan-out over processes/threads.
+
+The facade wraps :class:`concurrent.futures.ProcessPoolExecutor` /
+:class:`~concurrent.futures.ThreadPoolExecutor` behind one ``map``-shaped
+API with a guaranteed serial fast path:
+
+* ``n_jobs=1`` (or a single item, or a call from inside a worker) runs
+  the function inline — no pool, no pickling, no obs indirection.
+* Items are split into contiguous chunks (one per worker by default) so
+  shared payloads bound into ``functools.partial`` are pickled once per
+  chunk rather than once per item.
+* Results always come back in submission order; the first worker error
+  is re-raised in the parent with the failing chunk identified, and the
+  remaining work is cancelled.
+* Process workers capture their :mod:`repro.obs` spans and metrics and
+  the parent merges them into its current tracer/registry, re-parented
+  under the span that was open at the call site.
+
+Functions mapped under the ``process`` backend must be picklable:
+module-level functions, optionally wrapped in :func:`functools.partial`
+to bind the shared arrays.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from functools import partial
+
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    current_metrics,
+    current_tracer,
+    get_logger,
+    set_current_metrics,
+    set_current_tracer,
+)
+
+__all__ = [
+    "ParallelMap",
+    "in_worker",
+    "parallel_map",
+    "resolve_backend",
+    "resolve_n_jobs",
+]
+
+_log = get_logger("parallel")
+
+BACKENDS = ("process", "thread", "serial")
+
+#: Environment variables honoured by the resolution chain.
+ENV_JOBS = "REPRO_JOBS"
+ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+
+_worker_state = threading.local()
+
+
+def in_worker() -> bool:
+    """True while executing inside a ``ParallelMap`` worker.
+
+    Library code uses this to degrade nested parallelism to the serial
+    path instead of spawning pools from within pools.
+    """
+    return getattr(_worker_state, "active", False)
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Resolve a worker count: arg → ``REPRO_JOBS`` → ``os.cpu_count()``.
+
+    Negative values count back from the CPU total (``-1`` = all cores,
+    ``-2`` = all but one, never below 1), matching the sklearn
+    convention.  ``0`` is rejected.
+    """
+    if n_jobs is None:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        if env:
+            try:
+                n_jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{ENV_JOBS} must be an integer, got {env!r}"
+                ) from None
+        else:
+            return max(1, os.cpu_count() or 1)
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, int):
+        raise TypeError(f"n_jobs must be an int or None, got {n_jobs!r}")
+    if n_jobs == 0:
+        raise ValueError("n_jobs must not be 0 (use 1 for serial)")
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve the backend: arg → ``REPRO_PARALLEL_BACKEND`` → process."""
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND, "").strip() or "process"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level: picklable under every start method).
+# ----------------------------------------------------------------------
+def _run_chunk_process(fn, chunk):
+    """Run one chunk in a worker process under fresh obs sinks.
+
+    Returns ``(results, span_records, metrics_dump)`` so the parent can
+    merge the telemetry back into its own tracer/registry.
+    """
+    _worker_state.active = True
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    previous_tracer = set_current_tracer(tracer)
+    previous_metrics = set_current_metrics(metrics)
+    try:
+        results = [fn(item) for item in chunk]
+    finally:
+        set_current_tracer(previous_tracer)
+        set_current_metrics(previous_metrics)
+        _worker_state.active = False
+    return (
+        results,
+        [record.to_dict() for record in tracer.spans],
+        metrics.dump(),
+    )
+
+
+def _run_chunk_thread(fn, chunk, parent_id=None):
+    """Run one chunk in a worker thread of the calling process.
+
+    Spans flow straight into the shared (thread-safe) current tracer;
+    ``attach`` re-parents them under the span open at the call site.
+    """
+    _worker_state.active = True
+    try:
+        with current_tracer().attach(parent_id):
+            return [fn(item) for item in chunk]
+    finally:
+        _worker_state.active = False
+
+
+class ParallelMap:
+    """Ordered parallel ``map`` with a serial fallback.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count; resolved through :func:`resolve_n_jobs`
+        (``None`` → ``REPRO_JOBS`` → all cores; 1 = serial, never
+        spawns a pool).
+    backend:
+        ``"process"`` (default; true multi-core), ``"thread"`` (no
+        pickling, best for code that releases the GIL), or ``"serial"``.
+        ``None`` reads ``REPRO_PARALLEL_BACKEND``.
+    chunk_size:
+        Items per submitted task. Default: one contiguous chunk per
+        worker, which minimises how often shared ``partial`` payloads
+        are pickled.
+    """
+
+    def __init__(self, n_jobs: int | None = None,
+                 backend: str | None = None,
+                 chunk_size: int | None = None):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.backend = resolve_backend(backend)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None)")
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    def map(self, fn, items) -> list:
+        """``[fn(item) for item in items]``, possibly across workers.
+
+        Results preserve item order.  Under the ``process`` backend
+        ``fn`` (plus bound arguments) and the items must be picklable.
+        """
+        items = list(items)
+        n_jobs = min(self.n_jobs, len(items))
+        if (n_jobs <= 1 or self.backend == "serial" or in_worker()):
+            return [fn(item) for item in items]
+
+        size = self.chunk_size or math.ceil(len(items) / n_jobs)
+        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        tracer = current_tracer()
+        parent_id = tracer.current_span_id()
+
+        if self.backend == "thread":
+            runner = partial(_run_chunk_thread, fn, parent_id=parent_id)
+        else:
+            runner = partial(_run_chunk_process, fn)
+
+        executor = self._make_executor(min(n_jobs, len(chunks)))
+        if executor is None:  # pool creation refused by the platform
+            return [fn(item) for item in items]
+        chunk_results = []
+        with executor:
+            futures = [executor.submit(runner, chunk) for chunk in chunks]
+            for index, future in enumerate(futures):
+                try:
+                    chunk_results.append(future.result())
+                except BaseException as exc:
+                    for pending in futures[index + 1:]:
+                        pending.cancel()
+                    _log.error("chunk.failed", chunk=index + 1,
+                               chunks=len(chunks), backend=self.backend,
+                               error=f"{type(exc).__name__}: {exc}")
+                    raise
+
+        out: list = []
+        if self.backend == "thread":
+            for results in chunk_results:
+                out.extend(results)
+            return out
+        metrics = current_metrics()
+        for results, span_records, metrics_dump in chunk_results:
+            out.extend(results)
+            if span_records:
+                tracer.absorb(span_records, parent_id=parent_id)
+            if metrics_dump:
+                metrics.merge(metrics_dump)
+        return out
+
+    # ------------------------------------------------------------------
+    def _make_executor(self, max_workers: int):
+        """Build the pool, or None when the platform cannot provide one."""
+        from concurrent.futures import (
+            ProcessPoolExecutor,
+            ThreadPoolExecutor,
+        )
+
+        if self.backend == "thread":
+            return ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-par"
+            )
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            context = None
+        try:
+            return ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            )
+        except (OSError, PermissionError) as exc:
+            _log.warning("process_pool.unavailable", error=str(exc),
+                         fallback="serial")
+            return None
+
+
+def parallel_map(fn, items, n_jobs: int | None = None,
+                 backend: str | None = None,
+                 chunk_size: int | None = None) -> list:
+    """One-shot convenience wrapper around :class:`ParallelMap`."""
+    return ParallelMap(
+        n_jobs=n_jobs, backend=backend, chunk_size=chunk_size
+    ).map(fn, items)

@@ -1,0 +1,37 @@
+"""Deterministic seed derivation for parallel work units.
+
+Sequentially drawing per-task seeds from one generator (the pre-parallel
+idiom ``rng.integers(...)`` inside the task loop) couples every task to
+the execution order of the ones before it.  :func:`spawn_seeds` instead
+derives *independent* child :class:`numpy.random.SeedSequence` objects up
+front, so each work unit owns its whole random stream and results are
+bit-identical no matter how the tasks are scheduled or how many workers
+run them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_seeds"]
+
+
+def spawn_seeds(random_state, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child seed sequences derived from ``random_state``.
+
+    ``random_state`` may be ``None`` (fresh OS entropy), an integer seed,
+    an existing :class:`~numpy.random.SeedSequence`, or a
+    :class:`~numpy.random.Generator` (one value is drawn from it to form
+    the root entropy, advancing it exactly once regardless of ``n``).
+    The returned sequences are picklable, so they ship to worker
+    processes as-is.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if isinstance(random_state, np.random.SeedSequence):
+        root = random_state
+    elif isinstance(random_state, np.random.Generator):
+        root = np.random.SeedSequence(int(random_state.integers(2**63)))
+    else:
+        root = np.random.SeedSequence(random_state)
+    return list(root.spawn(n))

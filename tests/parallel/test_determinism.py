@@ -1,0 +1,194 @@
+"""Bit-identical results for any ``n_jobs`` — the layer's core contract.
+
+Every parallelised stage draws its randomness from pre-spawned seeds (or
+pre-drawn permutation matrices), so splitting the work across workers
+cannot change which numbers are drawn.  These tests compare serial
+(``n_jobs=1``) against multi-worker runs with ``==`` on the raw floats:
+no tolerances.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.fra import FRAConfig, fra_reduce
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.core.selection import SHAPConfig
+from repro.core.improvement import ImprovementConfig
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.importance import permutation_importance
+from repro.ml.model_selection import GridSearchCV, KFold
+from repro.ml.shap import shap_importance
+from repro.synth.config import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(90, 12))
+    y = X[:, 0] * 2.0 - X[:, 3] + 0.1 * rng.normal(size=90)
+    return X, y
+
+
+def _forest(n_jobs, X, y):
+    return RandomForestRegressor(
+        n_estimators=9, max_depth=6, max_features="sqrt",
+        random_state=3, n_jobs=n_jobs,
+    ).fit(X, y)
+
+
+class TestForestDeterminism:
+    def test_predictions_bit_identical(self, data):
+        X, y = data
+        serial = _forest(1, X, y)
+        parallel = _forest(4, X, y)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+
+    def test_importances_bit_identical(self, data):
+        X, y = data
+        assert np.array_equal(
+            _forest(1, X, y).feature_importances_,
+            _forest(4, X, y).feature_importances_,
+        )
+
+
+class TestPFIDeterminism:
+    def test_values_bit_identical(self, data):
+        X, y = data
+        model = _forest(1, X, y)
+        serial = permutation_importance(
+            model, X, y, n_repeats=3, random_state=11, n_jobs=1
+        )
+        parallel = permutation_importance(
+            model, X, y, n_repeats=3, random_state=11, n_jobs=4
+        )
+        assert np.array_equal(serial, parallel)
+
+
+class TestGridSearchDeterminism:
+    def test_winner_and_scores_identical(self, data):
+        X, y = data
+        grid = {"n_estimators": [5, 9], "max_depth": [4, 7]}
+
+        def run(n_jobs):
+            return GridSearchCV(
+                RandomForestRegressor(random_state=0),
+                grid, cv=KFold(3, shuffle=True, random_state=0),
+                refit=False, n_jobs=n_jobs,
+            ).fit(X, y)
+
+        serial, parallel = run(1), run(4)
+        assert serial.best_params_ == parallel.best_params_
+        assert serial.best_score_ == parallel.best_score_
+        assert [c["mean_score"] for c in serial.cv_results_] == \
+               [c["mean_score"] for c in parallel.cv_results_]
+
+
+class TestSHAPDeterminism:
+    def test_importance_bit_identical(self, data):
+        X, y = data
+        model = GradientBoostingRegressor(
+            n_estimators=8, max_depth=3, random_state=0
+        ).fit(X, y)
+        serial = shap_importance(model, X, max_samples=30,
+                                 random_state=0, n_jobs=1)
+        parallel = shap_importance(model, X, max_samples=30,
+                                   random_state=0, n_jobs=4)
+        assert np.array_equal(serial, parallel)
+
+
+class TestFRADeterminism:
+    def test_selected_features_identical(self, data):
+        X, y = data
+        names = [f"f{i}" for i in range(X.shape[1])]
+
+        def run(n_jobs):
+            return fra_reduce(X, y, names, FRAConfig(
+                target_size=6, pfi_repeats=2, pfi_max_rows=60,
+                rf_params={"n_estimators": 6, "max_depth": 5,
+                           "max_features": "sqrt", "min_samples_leaf": 2},
+                gb_params={"n_estimators": 8, "max_depth": 3,
+                           "learning_rate": 0.2, "max_features": "sqrt",
+                           "subsample": 0.8, "reg_lambda": 1.0},
+                n_jobs=n_jobs,
+            ))
+
+        serial, parallel = run(1), run(4)
+        assert serial.selected == parallel.selected
+        assert serial.importances == parallel.importances
+        assert serial.history == parallel.history
+
+
+def _tiny_pipeline_config(n_jobs):
+    """A complete but minimal experiment: one period, one window."""
+    return ExperimentConfig(
+        simulation=SimulationConfig(
+            start="2018-06-01", end="2020-06-30", seed=5, n_assets=105,
+        ),
+        fra=FRAConfig(
+            target_size=15, pfi_repeats=1, pfi_max_rows=80,
+            rf_params={"n_estimators": 5, "max_depth": 6,
+                       "max_features": "sqrt", "min_samples_leaf": 2},
+            gb_params={"n_estimators": 8, "max_depth": 3,
+                       "learning_rate": 0.2, "max_features": "sqrt",
+                       "subsample": 0.8, "reg_lambda": 1.0},
+        ),
+        shap=SHAPConfig(
+            gb_params={"n_estimators": 6, "max_depth": 3,
+                       "learning_rate": 0.2, "subsample": 0.8,
+                       "reg_lambda": 1.0},
+            max_rows=12,
+        ),
+        improvement_rf=ImprovementConfig(
+            model="rf",
+            param_grid={"n_estimators": [6], "max_depth": [6],
+                        "max_features": ["sqrt"]},
+            cv_folds=3,
+        ),
+        top_k=10,
+        periods=("2019",),
+        windows=(7,),
+        run_gb_validation=False,
+        rf_importance_params={"n_estimators": 6, "max_depth": 6,
+                              "max_features": "sqrt",
+                              "min_samples_leaf": 2},
+        n_jobs=n_jobs,
+    )
+
+
+class TestPipelineDeterminism:
+    def test_full_run_identical_across_jobs(self):
+        serial = run_experiment(_tiny_pipeline_config(1))
+        parallel = run_experiment(_tiny_pipeline_config(2))
+
+        assert serial.table1_vector_sizes() == \
+            parallel.table1_vector_sizes()
+        assert serial.mean_shap_overlap() == parallel.mean_shap_overlap()
+        assert serial.table5_improvement_by_window("2019") == \
+            parallel.table5_improvement_by_window("2019")
+        key = next(iter(serial.artifacts))
+        assert serial.artifacts[key].selection.final_features == \
+            parallel.artifacts[key].selection.final_features
+        assert serial.artifacts[key].rf_importance == \
+            parallel.artifacts[key].rf_importance
+
+        # Worker telemetry merges back: same span multiset, single root,
+        # every parent resolvable.
+        names = sorted(s.name for s in serial.run_summary.spans)
+        assert names == sorted(
+            s.name for s in parallel.run_summary.spans
+        )
+        roots = [s for s in parallel.run_summary.spans
+                 if s.parent_id is None]
+        assert [s.name for s in roots] == ["experiment.run"]
+        ids = {s.span_id for s in parallel.run_summary.spans}
+        assert all(s.parent_id in ids for s in parallel.run_summary.spans
+                   if s.parent_id is not None)
+
+    def test_config_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        config = _tiny_pipeline_config(None)
+        results = run_experiment(dataclasses.replace(config, n_jobs=None))
+        assert results.table1_vector_sizes()

@@ -1,0 +1,221 @@
+"""Tests for the :mod:`repro.parallel` execution facade."""
+
+import os
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    span,
+    use_metrics,
+    use_tracer,
+)
+from repro.parallel import (
+    ParallelMap,
+    in_worker,
+    parallel_map,
+    resolve_backend,
+    resolve_n_jobs,
+)
+from repro.parallel.executor import ENV_BACKEND, ENV_JOBS
+from repro.parallel.seeding import spawn_seeds
+
+
+# ----------------------------------------------------------------------
+# Module-level work units (process backend requires picklable functions).
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise RuntimeError("item 3 exploded")
+    return x
+
+
+def _am_i_in_a_worker(_):
+    return in_worker()
+
+
+def _nested_map(_):
+    # A worker that itself asks for parallelism must run inline.
+    inner = ParallelMap(4, backend="thread").map(_square, [1, 2, 3])
+    return (in_worker(), inner)
+
+
+def _traced_unit(x):
+    from repro.obs import current_metrics
+
+    with span("worker.task", item=x):
+        current_metrics().counter("worker.items").inc()
+        current_metrics().histogram("worker.value").observe(float(x))
+    return x * 10
+
+
+class TestResolveNJobs:
+    def test_explicit_arg_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "7")
+        assert resolve_n_jobs(3) == 3
+
+    def test_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "5")
+        assert resolve_n_jobs(None) == 5
+
+    def test_none_without_env_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_n_jobs(None) == max(1, os.cpu_count() or 1)
+
+    def test_blank_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "   ")
+        assert resolve_n_jobs(None) == max(1, os.cpu_count() or 1)
+
+    def test_negative_counts_back_from_cpus(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_n_jobs(-1) == max(1, cpus)
+        assert resolve_n_jobs(-cpus - 10) == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+    def test_bool_and_float_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_n_jobs(True)
+        with pytest.raises(TypeError):
+            resolve_n_jobs(2.0)
+
+    def test_garbage_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "lots")
+        with pytest.raises(ValueError):
+            resolve_n_jobs(None)
+
+
+class TestResolveBackend:
+    def test_default_is_process(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert resolve_backend(None) == "process"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "thread")
+        assert resolve_backend(None) == "thread"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("greenlet")
+
+
+class TestMapSemantics:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_ordered_results(self, backend):
+        items = list(range(13))
+        out = parallel_map(_square, items, n_jobs=3, backend=backend)
+        assert out == [x * x for x in items]
+
+    def test_empty_items(self):
+        assert ParallelMap(4, backend="process").map(_square, []) == []
+
+    def test_chunk_size_honoured(self):
+        out = parallel_map(_square, range(10), n_jobs=2,
+                           backend="thread", chunk_size=3)
+        assert out == [x * x for x in range(10)]
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelMap(2, chunk_size=0)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_error_propagates_with_original_type(self, backend):
+        with pytest.raises(RuntimeError, match="item 3 exploded"):
+            parallel_map(_boom, range(6), n_jobs=2, backend=backend)
+
+    def test_serial_path_never_builds_a_pool(self, monkeypatch):
+        def forbidden(self, max_workers):
+            raise AssertionError("n_jobs=1 must not spawn a pool")
+
+        monkeypatch.setattr(ParallelMap, "_make_executor", forbidden)
+        assert ParallelMap(1).map(_square, range(5)) == [
+            x * x for x in range(5)
+        ]
+
+    def test_single_item_never_builds_a_pool(self, monkeypatch):
+        def forbidden(self, max_workers):
+            raise AssertionError("one item must not spawn a pool")
+
+        monkeypatch.setattr(ParallelMap, "_make_executor", forbidden)
+        assert ParallelMap(8).map(_square, [4]) == [16]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_workers_know_they_are_workers(self, backend):
+        flags = parallel_map(_am_i_in_a_worker, range(4), n_jobs=2,
+                             backend=backend)
+        assert flags == [True] * 4
+        assert in_worker() is False  # parent flag untouched
+
+    def test_nested_map_runs_inline(self):
+        out = parallel_map(_nested_map, range(3), n_jobs=2,
+                           backend="thread")
+        assert out == [(True, [1, 4, 9])] * 3
+
+
+class TestObsMerging:
+    def test_process_spans_reparented_and_metrics_merged(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(metrics):
+            with tracer.span("call.site") as caller:
+                out = parallel_map(_traced_unit, range(5), n_jobs=2,
+                                   backend="process")
+        assert out == [x * 10 for x in range(5)]
+
+        workers = [s for s in tracer.spans if s.name == "worker.task"]
+        assert len(workers) == 5
+        assert {s.parent_id for s in workers} == {caller.span_id}
+        assert sorted(s.attrs["item"] for s in workers) == [0, 1, 2, 3, 4]
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids))  # absorb re-issues unique ids
+
+        snap = metrics.snapshot()
+        assert snap["counters"]["worker.items"] == 5
+        assert snap["histograms"]["worker.value"]["count"] == 5
+
+    def test_thread_spans_nest_under_call_site(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(metrics):
+            with tracer.span("call.site") as caller:
+                parallel_map(_traced_unit, range(4), n_jobs=2,
+                             backend="thread")
+        workers = [s for s in tracer.spans if s.name == "worker.task"]
+        assert len(workers) == 4
+        assert {s.parent_id for s in workers} == {caller.span_id}
+        assert metrics.snapshot()["counters"]["worker.items"] == 4
+
+    def test_absorb_preserves_internal_nesting(self):
+        worker = Tracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent = Tracer()
+        with parent.span("root") as root:
+            parent.absorb([s.to_dict() for s in worker.spans],
+                          parent_id=root.span_id)
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["outer"].parent_id == root.span_id
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+
+class TestSpawnSeeds:
+    def test_deterministic_and_independent(self):
+        a = spawn_seeds(42, 5)
+        b = spawn_seeds(42, 5)
+        assert len(a) == 5
+        assert [s.generate_state(2).tolist() for s in a] == \
+               [s.generate_state(2).tolist() for s in b]
+        states = {tuple(s.generate_state(2).tolist()) for s in a}
+        assert len(states) == 5  # children differ from each other
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)

@@ -6,8 +6,14 @@ structured and configurable; only the CLI and the report renderers are
 user-facing text emitters.  The check parses each file with ``ast`` so
 ``print`` mentioned inside docstrings or comments does not trip it.
 
-Usage: ``python tools/check_no_print.py [src-root]`` (default
-``src/repro``).  Exits 1 listing offenders, 0 when clean.
+The scan is recursive, so new packages (``repro.parallel``,
+``repro.obs``, ...) are covered the moment they land under a scanned
+root — worker-side code in particular must log through
+:mod:`repro.obs`, whose records are merged back into the parent run.
+
+Usage: ``python tools/check_no_print.py [root ...]`` (default
+``src/repro``; several roots may be given).  Exits 1 listing
+offenders, 0 when clean.
 """
 
 from __future__ import annotations
@@ -39,17 +45,18 @@ def find_print_calls(path: Path) -> list[int]:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    root = Path(argv[0]) if argv else Path("src/repro")
-    if not root.is_dir():
-        print(f"error: {root} is not a directory", file=sys.stderr)
-        return 2
+    roots = [Path(arg) for arg in argv] or [Path("src/repro")]
     offenders = []
-    for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root).as_posix()
-        if rel in ALLOWED:
-            continue
-        for lineno in find_print_calls(path):
-            offenders.append(f"{path}:{lineno}")
+    for root in roots:
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel in ALLOWED:
+                continue
+            for lineno in find_print_calls(path):
+                offenders.append(f"{path}:{lineno}")
     if offenders:
         print("bare print() calls found (use repro.obs.get_logger):",
               file=sys.stderr)
