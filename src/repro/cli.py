@@ -13,13 +13,21 @@ Commands
     Print the Crypto100 scaling-factor analysis (Figures 1-2 data).
 ``trace-summary``
     Summarise a span trace written by ``run --trace``: aggregate
-    per-stage table plus the slowest individual spans.
+    per-stage table, the slowest individual spans, and the run's
+    counters (retries, breaker trips, injected faults, ...).
+``chaos``
+    Run the experiment twice — clean, then under a fault plan with a
+    degradation policy — and print the per-category forecast-MSE
+    degradation table (see :mod:`repro.resilience`).
 
 Examples::
 
     python -m repro simulate --out data/ --seed 7
     python -m repro run --preset fast --seed 7 --report report.txt
     python -m repro run --preset fast --trace t.jsonl --log-level info
+    python -m repro run --preset fast --checkpoint-dir ckpt/
+    python -m repro run --preset fast --resume ckpt/
+    python -m repro chaos --preset fast --chaos-seed 11
     python -m repro trace-summary t.jsonl
     python -m repro index --seed 7
 """
@@ -31,6 +39,7 @@ import json
 import sys
 from pathlib import Path
 
+from .categories import DataCategory
 from .core.crypto100 import crypto100_index, tune_scaling_power
 from .core.pipeline import ExperimentConfig, run_experiment
 from .core.reporting import (
@@ -49,6 +58,15 @@ from .obs import (
     format_stage_table,
     read_jsonl,
     write_jsonl,
+)
+from .obs.trace import Span
+from .resilience import (
+    DEGRADATION_POLICIES,
+    CheckpointMismatch,
+    FaultPlan,
+    random_fault_plan,
+    render_chaos_table,
+    run_chaos,
 )
 from .synth.config import SimulationConfig
 from .synth.dataset import generate_raw_dataset
@@ -116,6 +134,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the scenario fan-out "
                           "(default: $REPRO_JOBS or all cores; 1 = serial; "
                           "results are identical for any value)")
+    run.add_argument("--checkpoint-dir", type=Path, default=None,
+                     metavar="DIR",
+                     help="persist each finished scenario to this "
+                          "directory (atomic, per-scenario)")
+    run.add_argument("--resume", type=Path, default=None, metavar="DIR",
+                     help="resume from a checkpoint directory: completed "
+                          "scenarios are loaded, only the rest run")
+    run.add_argument("--keep-going", action="store_true",
+                     help="isolate scenario failures: record them and "
+                          "keep the other scenarios' results instead of "
+                          "aborting the run")
+    run.add_argument("--fault-plan", type=Path, default=None,
+                     metavar="PATH",
+                     help="inject the faults described by this JSON "
+                          "FaultPlan while assembling the dataset")
+    run.add_argument("--degradation", choices=DEGRADATION_POLICIES,
+                     default=None,
+                     help="policy for sources that stay bad "
+                          "(default: abort)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="clean-vs-faulted run: per-category forecast degradation",
+    )
+    chaos.add_argument("--preset", choices=sorted(_PRESETS),
+                       default="fast")
+    chaos.add_argument("--seed", type=int, default=20240701,
+                       help="simulation seed shared by both runs")
+    chaos.add_argument("--chaos-seed", type=int, default=1337,
+                       help="seed for the generated fault plan")
+    chaos.add_argument("--plan", type=Path, default=None, metavar="PATH",
+                       help="load the fault plan from this JSON file "
+                            "instead of generating one")
+    chaos.add_argument("--save-plan", type=Path, default=None,
+                       metavar="PATH",
+                       help="write the fault plan used to this JSON file")
+    chaos.add_argument("--degradation", choices=DEGRADATION_POLICIES,
+                       default="fill",
+                       help="policy for sources that stay bad")
+    chaos.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for both runs")
+    chaos.add_argument("--report", type=Path, default=None,
+                       help="also write the degradation table here")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress progress logging")
 
     index = sub.add_parser(
         "index", help="Crypto100 scaling-factor analysis"
@@ -157,33 +220,57 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _append_section(sections: list, label: str, make) -> None:
+    """Render one report section, degrading to a note when the results
+    are too incomplete for it (dropped categories, failed scenarios)."""
+    try:
+        sections.append(make())
+    except (ValueError, KeyError, ZeroDivisionError) as exc:
+        sections.append(f"[{label} unavailable on this run: {exc}]")
+
+
 def _render_full_report(results) -> str:
-    sections = [render_table1(results.table1_vector_sizes())]
-    sections.append(
+    sections = []
+    if results.degradation is not None:
+        sections.append(
+            f"degraded inputs: {results.degradation.summary()}"
+        )
+    if results.failures:
+        lines = [f"{len(results.failures)} scenario(s) failed "
+                 f"(results below cover the rest):"]
+        lines += [f"  {failure}"
+                  for _, failure in sorted(results.failures.items())]
+        sections.append("\n".join(lines))
+    _append_section(sections, "Table 1",
+                    lambda: render_table1(results.table1_vector_sizes()))
+    _append_section(sections, "SHAP overlap", lambda: (
         f"mean FRA/SHAP top-100 overlap: "
         f"{results.mean_shap_overlap():.1f} features"
-    )
+    ))
     for period in ("2017", "2019"):
-        sections.append(
+        _append_section(
+            sections, f"contributions {period}", lambda period=period:
             render_contributions(results.contributions(period), period)
         )
-        sections.append(
-            render_top_features(
-                results.table3_top_features(period), period
-            )
+        _append_section(
+            sections, f"Table 3 ({period})", lambda period=period:
+            render_top_features(results.table3_top_features(period), period)
         )
-        sections.append(
+        _append_section(
+            sections, f"Table 4 ({period})", lambda period=period:
             render_unique_features(
                 results.table4_unique_features(period), period
             )
         )
-    sections.append(render_improvement_by_window({
+    _append_section(sections, "Table 5", lambda: render_improvement_by_window({
         p: results.table5_improvement_by_window(p) for p in ("2017", "2019")
     }))
-    sections.append(render_improvement_by_category({
-        p: results.table6_improvement_by_category(p)
-        for p in ("2017", "2019")
-    }))
+    _append_section(
+        sections, "Table 6", lambda: render_improvement_by_category({
+            p: results.table6_improvement_by_category(p)
+            for p in ("2017", "2019")
+        })
+    )
     lines = ["Overall average improvement (§4.3):"]
     for model in ("rf", "gb"):
         for period in ("2017", "2019"):
@@ -212,7 +299,29 @@ def _cmd_run(args) -> int:
         config = dataclasses.replace(config, verbose=not args.quiet)
     if args.jobs is not None:
         config = dataclasses.replace(config, n_jobs=args.jobs)
-    results = run_experiment(config)
+    if args.fault_plan is not None:
+        config = dataclasses.replace(
+            config, fault_plan=FaultPlan.load(args.fault_plan)
+        )
+    if args.degradation is not None:
+        config = dataclasses.replace(config, degradation=args.degradation)
+    if args.keep_going:
+        config = dataclasses.replace(config, on_error="capture")
+
+    checkpoint_dir = args.resume if args.resume is not None \
+        else args.checkpoint_dir
+    try:
+        results = run_experiment(
+            config,
+            checkpoint_dir=(str(checkpoint_dir)
+                            if checkpoint_dir is not None else None),
+            resume=args.resume is not None,
+        )
+    except CheckpointMismatch as exc:
+        print(f"cannot resume from {checkpoint_dir}: {exc}")
+        print("(the checkpointed run used a different config; "
+              "start fresh with --checkpoint-dir)")
+        return 1
     report = _render_full_report(results)
     print(report)
     if args.report is not None:
@@ -225,9 +334,43 @@ def _cmd_run(args) -> int:
         path = write_markdown_report(results, args.markdown)
         print(f"markdown report written to {path}")
     if args.trace is not None:
-        path = write_jsonl(results.run_summary.spans, args.trace)
+        spans = list(results.run_summary.spans)
+        counters = results.run_summary.metrics.get("counters", {})
+        if counters:
+            # Synthetic zero-duration record carrying the run's counters
+            # so 'trace-summary' can report them alongside the stages.
+            anchor = spans[0].start if spans else 0.0
+            spans.append(Span(name="run.metrics", start=anchor,
+                              end=anchor, attrs={"counters": counters}))
+        path = write_jsonl(spans, args.trace)
         print(f"span trace ({len(results.run_summary.spans)} spans) "
               f"written to {path}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import dataclasses
+
+    config = _PRESETS[args.preset](seed=args.seed)
+    config = dataclasses.replace(config, verbose=not args.quiet)
+    if args.jobs is not None:
+        config = dataclasses.replace(config, n_jobs=args.jobs)
+    if args.plan is not None:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = random_fault_plan(
+            args.chaos_seed, [c.value for c in DataCategory]
+        )
+    if args.save_plan is not None:
+        path = plan.save(args.save_plan)
+        print(f"fault plan written to {path}")
+    report = run_chaos(config, plan, policy=args.degradation)
+    table = render_chaos_table(report)
+    print(table)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(table + "\n")
+        print(f"\nreport written to {args.report}")
     return 0
 
 
@@ -243,6 +386,16 @@ def _cmd_trace_summary(args) -> int:
     if not spans:
         print(f"no spans found in {args.path}")
         return 1
+    # 'run.metrics' records are synthetic counter carriers written by
+    # 'run --trace', not real work — keep them out of the timing tables.
+    counters: dict = {}
+    for record in spans:
+        if record.name == "run.metrics":
+            counters.update(record.attrs.get("counters", {}))
+    spans = [s for s in spans if s.name != "run.metrics"]
+    if not spans:
+        print(f"no timing spans found in {args.path}")
+        return 1
     roots = [s for s in spans if s.parent_id is None]
     total = (max(s.duration for s in roots) if roots
              else max(s.end for s in spans) - min(s.start for s in spans))
@@ -251,6 +404,12 @@ def _cmd_trace_summary(args) -> int:
     print(format_stage_table(spans))
     print()
     print(format_slowest(spans, args.top))
+    if counters:
+        print()
+        print("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {int(counters[name])}")
     return 0
 
 
@@ -279,6 +438,7 @@ def main(argv=None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "run": _cmd_run,
+        "chaos": _cmd_chaos,
         "index": _cmd_index,
         "trace-summary": _cmd_trace_summary,
     }

@@ -39,6 +39,7 @@ from .pipeline import (
     ExperimentConfig,
     ExperimentResults,
     ScenarioArtifacts,
+    ScenarioFailure,
     run_experiment,
 )
 from .report import export_markdown, write_markdown_report
@@ -87,6 +88,7 @@ __all__ = [
     "SHORT_TERM_WINDOWS",
     "Scenario",
     "ScenarioArtifacts",
+    "ScenarioFailure",
     "ScenarioImprovement",
     "SelectionResult",
     "StabilityReport",

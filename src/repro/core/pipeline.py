@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from functools import partial
 
 from ..categories import DataCategory
+from ..frame.validation import ColumnRule, validate_frame
 from ..obs import (
     MetricsRegistry,
     RunSummary,
@@ -33,7 +34,16 @@ from ..obs import (
     use_metrics,
     use_tracer,
 )
-from ..parallel import ParallelMap, resolve_n_jobs
+from ..parallel import ItemFailure, ParallelMap, resolve_n_jobs
+from ..resilience import (
+    DEGRADATION_POLICIES,
+    DegradationReport,
+    FaultPlan,
+    RetryPolicy,
+    RunCheckpoint,
+    config_fingerprint,
+    resilient_raw_dataset,
+)
 from ..synth.config import SimulationConfig
 from ..synth.dataset import RawDataset, generate_raw_dataset
 from .contribution import contribution_factors
@@ -62,8 +72,8 @@ from .scenarios import (
 )
 from .selection import SelectionResult, SHAPConfig, select_final_features
 
-__all__ = ["ExperimentConfig", "ScenarioArtifacts", "ExperimentResults",
-           "run_experiment"]
+__all__ = ["ExperimentConfig", "ScenarioArtifacts", "ScenarioFailure",
+           "ExperimentResults", "run_experiment"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,38 @@ class ExperimentConfig:
     one work unit on its own worker.  ``None`` resolves ``REPRO_JOBS`` →
     all cores; ``1`` forces the serial path.  Every scenario is seeded
     independently, so results are identical for any value."""
+
+    # ----- resilience ---------------------------------------------------
+    fault_plan: FaultPlan | None = None
+    """Deterministic source-degradation schedule applied while the
+    dataset is assembled (see :mod:`repro.resilience.faults`).  The
+    same ``(simulation.seed, fault_plan)`` always produces bit-identical
+    corrupted data, for any ``n_jobs``."""
+
+    degradation: str = "abort"
+    """What to do about a source that stays bad: ``"abort"`` (raise),
+    ``"drop-category"`` (proceed on surviving categories) or ``"fill"``
+    (repair corrupted windows with a forward-fill).  Anything except
+    ``"abort"`` routes dataset assembly through
+    :func:`repro.resilience.resilient_raw_dataset`."""
+
+    on_error: str = "raise"
+    """Scenario failure isolation: ``"raise"`` aborts the run on the
+    first failed scenario (historical behaviour); ``"capture"`` records
+    a structured :class:`ScenarioFailure` and keeps the other scenarios'
+    results."""
+
+    validate_inputs: bool = True
+    """Pre-flight :func:`repro.frame.validate_frame` check on the raw
+    feature matrix before any model fitting."""
+
+    strict_validation: bool = False
+    """Escalate pre-flight validation issues from warnings to an
+    immediate ``ValueError``."""
+
+    source_retry: RetryPolicy = RetryPolicy(base_delay=0.1, max_delay=2.0)
+    """Backoff schedule for transient source failures during resilient
+    dataset assembly."""
 
     # ------------------------------------------------------------------
     @classmethod
@@ -229,6 +271,25 @@ class ScenarioArtifacts:
     """Fine-tuned-RF importance of every final-vector feature (§4.2)."""
 
 
+@dataclass(frozen=True)
+class ScenarioFailure:
+    """Structured record of one scenario that failed mid-run.
+
+    Produced when ``ExperimentConfig.on_error == "capture"``: instead of
+    killing the whole fan-out, the failing scenario's exception (with
+    its worker-side traceback) lands here and every other scenario's
+    results survive.
+    """
+
+    key: str
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.key}: {self.error_type}: {self.message}"
+
+
 @dataclass
 class ExperimentResults:
     """The full study's outputs, with per-table accessors."""
@@ -241,6 +302,18 @@ class ExperimentResults:
     runtime_seconds: float = 0.0
     run_summary: RunSummary = field(default_factory=RunSummary)
     """Per-run telemetry: every span plus the metrics snapshot."""
+
+    failures: dict[str, ScenarioFailure] = field(default_factory=dict)
+    """Scenario key → failure record (``on_error="capture"`` runs)."""
+
+    degradation: DegradationReport | None = None
+    """What the resilience layer did to the inputs (None = the plain,
+    non-resilient assembly path was used)."""
+
+    @property
+    def complete(self) -> bool:
+        """True when every scheduled scenario produced artifacts."""
+        return not self.failures
 
     # ----- Table 1 ------------------------------------------------------
     def table1_vector_sizes(self) -> dict[str, int]:
@@ -338,7 +411,39 @@ class ExperimentResults:
         raise ValueError(f"unknown model family {model!r}")
 
 
-def _scenario_task(item: tuple, config: ExperimentConfig
+#: Pre-flight sanity rules for the raw feature matrix (§3.1.2's cleaning
+#: contract expressed as invariants): no effectively-empty columns, no
+#: infinities, and close prices are non-negative.
+_PREFLIGHT_RULES = (
+    ColumnRule("*", max_nan_fraction=0.98, require_finite=True),
+    ColumnRule("*_Close", min_value=0.0),
+)
+
+
+def _preflight(raw: RawDataset, config: ExperimentConfig,
+               log, metrics: MetricsRegistry) -> None:
+    """Validate the assembled feature matrix before any model fitting.
+
+    Issues are warnings by default; ``config.strict_validation`` turns
+    them into an immediate ``ValueError`` so bad data never reaches the
+    (much more expensive) selection and improvement stages.
+    """
+    with span("pipeline.preflight", columns=raw.features.n_cols):
+        report = validate_frame(raw.features, list(_PREFLIGHT_RULES))
+        metrics.counter("preflight.issues").inc(len(report.issues))
+        if report.issues:
+            log.warning(
+                "preflight.issues",
+                n_issues=len(report.issues),
+                first=str(report.issues[0]),
+                strict=config.strict_validation,
+            )
+        if config.strict_validation:
+            report.raise_if_failed()
+
+
+def _scenario_task(item: tuple, config: ExperimentConfig,
+                   checkpoint: RunCheckpoint | None = None
                    ) -> tuple[str, ScenarioArtifacts,
                               ScenarioImprovement,
                               ScenarioImprovement | None]:
@@ -379,13 +484,20 @@ def _scenario_task(item: tuple, config: ExperimentConfig
             improvement_gb = scenario_improvements(
                 scenario, selection.final_features, config.improvement_gb,
             )
-    return key, artifact, improvement_rf, improvement_gb
+    result = key, artifact, improvement_rf, improvement_gb
+    if checkpoint is not None:
+        # Written worker-side so a mid-run kill preserves every scenario
+        # that finished, not just the ones the parent got to collect.
+        checkpoint.save_scenario(key, result)
+    return result
 
 
 def run_experiment(config: ExperimentConfig | None = None,
                    raw: RawDataset | None = None,
                    tracer: Tracer | None = None,
-                   metrics: MetricsRegistry | None = None
+                   metrics: MetricsRegistry | None = None,
+                   checkpoint_dir: str | None = None,
+                   resume: bool = False
                    ) -> ExperimentResults:
     """Execute the full study; see the module docstring for the stages.
 
@@ -398,8 +510,32 @@ def run_experiment(config: ExperimentConfig | None = None,
     ``config.n_jobs`` (CLI: ``repro run --jobs N``) fans the scenarios
     out over worker processes; worker telemetry is merged back, so the
     run summary accounts for all work regardless of where it ran.
+
+    Resilience hooks (all off by default, see
+    :mod:`repro.resilience`):
+
+    * ``config.fault_plan`` / ``config.degradation`` route dataset
+      assembly through :func:`~repro.resilience.resilient_raw_dataset`;
+      the returned results carry the resulting
+      :class:`~repro.resilience.DegradationReport`.
+    * ``config.on_error="capture"`` isolates scenario failures into
+      ``results.failures`` instead of aborting the run.
+    * ``checkpoint_dir`` persists each finished scenario atomically;
+      ``resume=True`` skips scenarios already checkpointed by a
+      previous (possibly killed) run with the same config.
     """
     config = config if config is not None else ExperimentConfig.default()
+    if config.on_error not in ("raise", "capture"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'capture', got {config.on_error!r}"
+        )
+    if config.degradation not in DEGRADATION_POLICIES:
+        raise ValueError(
+            f"degradation must be one of {DEGRADATION_POLICIES}, "
+            f"got {config.degradation!r}"
+        )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
     started = time.perf_counter()
     tracer = tracer if tracer is not None else Tracer()
     metrics = metrics if metrics is not None else MetricsRegistry()
@@ -410,9 +546,24 @@ def run_experiment(config: ExperimentConfig | None = None,
 
     with use_tracer(tracer), use_metrics(metrics), \
             tracer.span("experiment.run"):
+        degradation_report: DegradationReport | None = None
         if raw is None:
-            log.info("dataset.generate", seed=config.simulation.seed)
-            raw = generate_raw_dataset(config.simulation)
+            resilient = (config.fault_plan is not None
+                         or config.degradation != "abort")
+            log.info("dataset.generate", seed=config.simulation.seed,
+                     resilient=resilient)
+            if resilient:
+                raw, degradation_report = resilient_raw_dataset(
+                    config.simulation,
+                    plan=config.fault_plan,
+                    policy=config.degradation,
+                    retry=config.source_retry,
+                )
+            else:
+                raw = generate_raw_dataset(config.simulation)
+
+        if config.validate_inputs:
+            _preflight(raw, config, log, metrics)
 
         log.info("scenarios.build", periods=",".join(config.periods),
                  windows=",".join(str(w) for w in config.windows),
@@ -423,14 +574,64 @@ def run_experiment(config: ExperimentConfig | None = None,
             )
         metrics.gauge("experiment.scenarios").set(len(scenarios))
 
+        checkpoint: RunCheckpoint | None = None
+        resumed: dict[str, tuple] = {}
+        if checkpoint_dir is not None:
+            checkpoint = RunCheckpoint(checkpoint_dir)
+            # n_jobs / verbose can't change results (determinism
+            # contract), so they don't participate in the fingerprint:
+            # a run killed at --jobs 4 may resume at --jobs 1.
+            fingerprint = config_fingerprint(
+                replace(config, n_jobs=None, verbose=False)
+            )
+            checkpoint.initialise(
+                fingerprint, resume=resume,
+                info={"scenarios": sorted(scenarios)},
+            )
+            if resume:
+                done = set(checkpoint.completed_keys()) & set(scenarios)
+                for key in done:
+                    resumed[key] = checkpoint.load_scenario(key)
+                metrics.counter("checkpoint.skipped").inc(len(done))
+                log.info("checkpoint.resume", directory=checkpoint_dir,
+                         skipped=len(done),
+                         remaining=len(scenarios) - len(done))
+
+        items = [
+            (key, scenario) for key, scenario in scenarios.items()
+            if key not in resumed
+        ]
         outcomes = ParallelMap(jobs).map(
-            partial(_scenario_task, config=config),
-            list(scenarios.items()),
+            partial(_scenario_task, config=config, checkpoint=checkpoint),
+            items,
+            return_exceptions=(config.on_error == "capture"),
         )
+
+        by_key: dict[str, tuple] = dict(resumed)
+        failures: dict[str, ScenarioFailure] = {}
+        for outcome in outcomes:
+            if isinstance(outcome, ItemFailure):
+                key = items[outcome.index][0]
+                failures[key] = ScenarioFailure(
+                    key=key,
+                    error_type=outcome.error_type,
+                    message=outcome.message,
+                    traceback=outcome.traceback,
+                )
+                metrics.counter("experiment.scenario_failures").inc()
+                log.error("scenario.failed", scenario=key,
+                          error=outcome.error_type,
+                          message=outcome.message)
+            else:
+                by_key[outcome[0]] = outcome
+
         artifacts: dict[str, ScenarioArtifacts] = {}
         improvements_rf: list[ScenarioImprovement] = []
         improvements_gb: list[ScenarioImprovement] = []
-        for key, artifact, improvement_rf, improvement_gb in outcomes:
+        for key in scenarios:  # canonical order, independent of n_jobs
+            if key not in by_key:
+                continue
+            _, artifact, improvement_rf, improvement_gb = by_key[key]
             artifacts[key] = artifact
             improvements_rf.append(improvement_rf)
             if improvement_gb is not None:
@@ -438,7 +639,7 @@ def run_experiment(config: ExperimentConfig | None = None,
 
     runtime = time.perf_counter() - started
     log.info("experiment.done", scenarios=len(artifacts),
-             runtime_s=runtime)
+             failed=len(failures), runtime_s=runtime)
     return ExperimentResults(
         config=config,
         raw=raw,
@@ -448,4 +649,6 @@ def run_experiment(config: ExperimentConfig | None = None,
         runtime_seconds=runtime,
         run_summary=RunSummary(spans=tracer.spans,
                                metrics=metrics.snapshot()),
+        failures=failures,
+        degradation=degradation_report,
     )

@@ -105,12 +105,17 @@ def leading_nan_count(values: np.ndarray) -> int:
     return int(valid[0]) if valid.size else int(values.size)
 
 
-def fill_frame(frame: Frame, method: str = "interpolate") -> Frame:
+def fill_frame(frame: Frame, method: str = "interpolate",
+               limit: int | None = None) -> Frame:
     """Fill missing interior data in every column of ``frame``.
 
     ``method`` is one of ``"interpolate"``, ``"ffill"``, ``"bfill"``.
     Leading NaNs (before a series starts recording) are never invented by
     ``"interpolate"`` or ``"ffill"``.
+
+    ``limit`` caps the length of each filled run for ``"ffill"`` /
+    ``"bfill"`` (a gap longer than ``limit`` keeps its remaining NaNs);
+    it is not meaningful for ``"interpolate"`` and raises there.
     """
     fillers = {
         "interpolate": interpolate_linear,
@@ -123,4 +128,14 @@ def fill_frame(frame: Frame, method: str = "interpolate") -> Frame:
         raise ValueError(
             f"unknown fill method {method!r}; choose from {sorted(fillers)}"
         ) from None
+    if limit is not None:
+        if method == "interpolate":
+            raise ValueError("limit= is only supported for ffill/bfill")
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        base = filler
+
+        def filler(values, _base=base):
+            return _base(values, limit=limit)
+
     return frame.map_columns(filler)

@@ -32,6 +32,7 @@ Quick tour::
 """
 
 from .executor import (
+    ItemFailure,
     ParallelMap,
     in_worker,
     parallel_map,
@@ -41,6 +42,7 @@ from .executor import (
 from .seeding import spawn_seeds
 
 __all__ = [
+    "ItemFailure",
     "ParallelMap",
     "in_worker",
     "parallel_map",

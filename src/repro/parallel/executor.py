@@ -12,6 +12,10 @@ API with a guaranteed serial fast path:
 * Results always come back in submission order; the first worker error
   is re-raised in the parent with the failing chunk identified, and the
   remaining work is cancelled.
+* ``map(..., return_exceptions=True)`` switches to *partial-results*
+  mode: a failing item yields an :class:`ItemFailure` at its position
+  instead of aborting the whole map, so long fan-outs survive isolated
+  failures (``KeyboardInterrupt``/``SystemExit`` still propagate).
 * Process workers capture their :mod:`repro.obs` spans and metrics and
   the parent merges them into its current tracer/registry, re-parented
   under the span that was open at the call site.
@@ -25,7 +29,10 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
 import threading
+import traceback as traceback_module
+from dataclasses import dataclass
 from functools import partial
 
 from ..obs import (
@@ -39,6 +46,7 @@ from ..obs import (
 )
 
 __all__ = [
+    "ItemFailure",
     "ParallelMap",
     "in_worker",
     "parallel_map",
@@ -104,10 +112,50 @@ def resolve_backend(backend: str | None = None) -> str:
     return backend
 
 
+@dataclass
+class ItemFailure:
+    """One item's captured exception in partial-results mode.
+
+    ``exception`` is the original object when it survived the trip back
+    from the worker (unpicklable exceptions are represented by their
+    string fields only). ``traceback`` is the formatted worker-side
+    traceback, preserved across process boundaries.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str
+    exception: BaseException | None = None
+
+    def __str__(self) -> str:
+        return f"item {self.index}: {self.error_type}: {self.message}"
+
+
+def _capture_call(fn, item, index: int, ship_across_process: bool):
+    """``fn(item)``, converting an ``Exception`` into an ItemFailure."""
+    try:
+        return fn(item)
+    except Exception as exc:  # noqa: BLE001 — the mode's whole point
+        exception: BaseException | None = exc
+        if ship_across_process:
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exception = None
+        return ItemFailure(
+            index=index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback_module.format_exc(),
+            exception=exception,
+        )
+
+
 # ----------------------------------------------------------------------
 # Worker entry points (module-level: picklable under every start method).
 # ----------------------------------------------------------------------
-def _run_chunk_process(fn, chunk):
+def _run_chunk_process(fn, chunk, base_index=0, capture=False):
     """Run one chunk in a worker process under fresh obs sinks.
 
     Returns ``(results, span_records, metrics_dump)`` so the parent can
@@ -119,7 +167,14 @@ def _run_chunk_process(fn, chunk):
     previous_tracer = set_current_tracer(tracer)
     previous_metrics = set_current_metrics(metrics)
     try:
-        results = [fn(item) for item in chunk]
+        if capture:
+            results = [
+                _capture_call(fn, item, base_index + offset,
+                              ship_across_process=True)
+                for offset, item in enumerate(chunk)
+            ]
+        else:
+            results = [fn(item) for item in chunk]
     finally:
         set_current_tracer(previous_tracer)
         set_current_metrics(previous_metrics)
@@ -131,7 +186,8 @@ def _run_chunk_process(fn, chunk):
     )
 
 
-def _run_chunk_thread(fn, chunk, parent_id=None):
+def _run_chunk_thread(fn, chunk, base_index=0, capture=False,
+                      parent_id=None):
     """Run one chunk in a worker thread of the calling process.
 
     Spans flow straight into the shared (thread-safe) current tracer;
@@ -140,6 +196,12 @@ def _run_chunk_thread(fn, chunk, parent_id=None):
     _worker_state.active = True
     try:
         with current_tracer().attach(parent_id):
+            if capture:
+                return [
+                    _capture_call(fn, item, base_index + offset,
+                                  ship_across_process=False)
+                    for offset, item in enumerate(chunk)
+                ]
             return [fn(item) for item in chunk]
     finally:
         _worker_state.active = False
@@ -174,33 +236,55 @@ class ParallelMap:
         self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
-    def map(self, fn, items) -> list:
+    def map(self, fn, items, return_exceptions: bool = False) -> list:
         """``[fn(item) for item in items]``, possibly across workers.
 
         Results preserve item order.  Under the ``process`` backend
         ``fn`` (plus bound arguments) and the items must be picklable.
+
+        With ``return_exceptions=True`` an item whose call raises an
+        ``Exception`` contributes an :class:`ItemFailure` (carrying the
+        worker-side traceback) at its position instead of aborting the
+        map — the other items' results are preserved.  The default
+        behaviour (raise on first error, cancel the rest) is unchanged.
         """
         items = list(items)
         n_jobs = min(self.n_jobs, len(items))
         if (n_jobs <= 1 or self.backend == "serial" or in_worker()):
+            if return_exceptions:
+                return [
+                    _capture_call(fn, item, index,
+                                  ship_across_process=False)
+                    for index, item in enumerate(items)
+                ]
             return [fn(item) for item in items]
 
         size = self.chunk_size or math.ceil(len(items) / n_jobs)
-        chunks = [items[i:i + size] for i in range(0, len(items), size)]
+        chunks = [
+            (i, items[i:i + size]) for i in range(0, len(items), size)
+        ]
         tracer = current_tracer()
         parent_id = tracer.current_span_id()
 
         if self.backend == "thread":
-            runner = partial(_run_chunk_thread, fn, parent_id=parent_id)
+            runner = partial(_run_chunk_thread, fn,
+                             capture=return_exceptions,
+                             parent_id=parent_id)
         else:
-            runner = partial(_run_chunk_process, fn)
+            runner = partial(_run_chunk_process, fn,
+                             capture=return_exceptions)
 
         executor = self._make_executor(min(n_jobs, len(chunks)))
         if executor is None:  # pool creation refused by the platform
-            return [fn(item) for item in items]
+            return self.__class__(
+                n_jobs=1, backend="serial"
+            ).map(fn, items, return_exceptions=return_exceptions)
         chunk_results = []
         with executor:
-            futures = [executor.submit(runner, chunk) for chunk in chunks]
+            futures = [
+                executor.submit(runner, chunk, base_index=base)
+                for base, chunk in chunks
+            ]
             for index, future in enumerate(futures):
                 try:
                     chunk_results.append(future.result())

@@ -1,0 +1,98 @@
+"""Resilience layer: fault injection, degraded-source tolerance,
+checkpoint/resume, and chaos experiments.
+
+The paper's dataset is stitched from five live feeds; this package
+makes the reproduction behave like a system that actually consumes
+them. Everything is stdlib + numpy, deterministic, and observable
+through :mod:`repro.obs`:
+
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`, a seeded,
+  JSON-serialisable schedule of source degradations (outages, stale
+  runs, spikes, NaN gaps, delistings, fetch errors) whose application
+  is bit-reproducible from ``(seed, plan)``.
+* :mod:`repro.resilience.source` — :class:`DataSource` with retry,
+  exponential backoff and a circuit breaker (injectable clock/sleep);
+  :class:`SourceUnavailable` is the transient error currency.
+* :mod:`repro.resilience.degradation` — :func:`resilient_raw_dataset`
+  assembles the dataset under a degradation policy (``abort`` /
+  ``drop-category`` / ``fill``) and returns a :class:`DegradationReport`
+  saying exactly what was retried, injected, filled or dropped.
+* :mod:`repro.resilience.checkpoint` — :class:`RunCheckpoint`, atomic
+  per-scenario artifact persistence behind ``repro run
+  --checkpoint-dir/--resume``.
+* :mod:`repro.resilience.chaos` — :func:`run_chaos`, the clean-vs-
+  faulted MSE comparison behind ``repro chaos``.
+
+Quick tour::
+
+    from repro import ExperimentConfig, run_experiment
+    from repro.resilience import random_fault_plan
+
+    config = ExperimentConfig.fast()
+    plan = random_fault_plan(7, ["sentiment", "macro"])
+    degraded = dataclasses.replace(
+        config, fault_plan=plan, degradation="fill", on_error="capture"
+    )
+    results = run_experiment(degraded)
+    print(results.degradation.summary())
+"""
+
+from .chaos import (
+    CategoryDegradation,
+    ChaosReport,
+    render_chaos_table,
+    run_chaos,
+)
+from .checkpoint import (
+    CheckpointMismatch,
+    RunCheckpoint,
+    config_fingerprint,
+)
+from .degradation import (
+    DEGRADATION_POLICIES,
+    DegradationReport,
+    SourceOutcome,
+    resilient_raw_dataset,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    InjectedFault,
+    apply_fault_plan,
+    random_fault_plan,
+)
+from .source import (
+    CircuitBreaker,
+    CircuitOpen,
+    DataSource,
+    FlakyFetch,
+    RetryPolicy,
+    SourceUnavailable,
+)
+
+__all__ = [
+    "CategoryDegradation",
+    "ChaosReport",
+    "CheckpointMismatch",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DEGRADATION_POLICIES",
+    "DataSource",
+    "DegradationReport",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FlakyFetch",
+    "InjectedFault",
+    "RetryPolicy",
+    "RunCheckpoint",
+    "SourceOutcome",
+    "SourceUnavailable",
+    "apply_fault_plan",
+    "config_fingerprint",
+    "random_fault_plan",
+    "render_chaos_table",
+    "resilient_raw_dataset",
+    "run_chaos",
+]

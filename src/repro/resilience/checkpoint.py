@@ -1,0 +1,176 @@
+"""Atomic per-scenario checkpointing for ``run_experiment``.
+
+A :class:`RunCheckpoint` manages one *run directory*:
+
+``manifest.json``
+    The run's config fingerprint (plus free-form info the caller wants
+    to remember, e.g. the CLI preset and seed). Resuming against a
+    directory whose fingerprint does not match the current config is
+    refused — a resumed run must be exactly the run that was
+    interrupted.
+``scenario_<key>.pkl``
+    One pickle per completed scenario work unit, written atomically
+    (temp file + ``os.replace``) so a kill mid-write never leaves a
+    readable-but-corrupt artifact. Workers write these as they finish;
+    after a crash, ``repro run --resume <dir>`` loads the completed
+    scenarios and only computes the rest.
+
+The class is deliberately tiny and picklable (it holds only the
+directory path and fingerprint), so the parallel fan-out can hand it to
+worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from ..obs import current_metrics, get_logger
+
+__all__ = ["CheckpointMismatch", "RunCheckpoint", "config_fingerprint"]
+
+_log = get_logger("resilience")
+
+_MANIFEST = "manifest.json"
+_PREFIX = "scenario_"
+_SUFFIX = ".pkl"
+
+
+class CheckpointMismatch(RuntimeError):
+    """The run directory belongs to a different configuration."""
+
+
+def config_fingerprint(config) -> str:
+    """A stable digest of a config object (dataclass reprs are stable)."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+class RunCheckpoint:
+    """Atomic artifact store for one experiment run directory."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    def initialise(self, fingerprint: str, resume: bool = False,
+                   info: dict | None = None) -> None:
+        """Create or validate the run directory.
+
+        A fresh run writes the manifest (discarding any stale scenario
+        artifacts from a previous incompatible run). A ``resume`` run
+        requires an existing manifest with a matching fingerprint.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / _MANIFEST
+        if resume:
+            manifest = self.read_manifest()
+            if manifest is None:
+                raise CheckpointMismatch(
+                    f"cannot resume: no manifest in {self.directory}"
+                )
+            if manifest.get("fingerprint") != fingerprint:
+                raise CheckpointMismatch(
+                    "cannot resume: run directory was created by a "
+                    "different configuration "
+                    f"(found {manifest.get('fingerprint')!r}, "
+                    f"expected {fingerprint!r})"
+                )
+        else:
+            manifest = self.read_manifest()
+            if manifest is not None \
+                    and manifest.get("fingerprint") != fingerprint:
+                for stale in self._artifact_paths():
+                    stale.unlink()
+            payload = {"fingerprint": fingerprint, "info": info or {}}
+            _atomic_write_bytes(
+                manifest_path,
+                (json.dumps(payload, indent=2) + "\n").encode("utf-8"),
+            )
+        self.fingerprint = fingerprint
+
+    def read_manifest(self) -> dict | None:
+        """The manifest payload, or None when absent/unreadable."""
+        path = self.directory / _MANIFEST
+        try:
+            return json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # ------------------------------------------------------------------
+    def _artifact_paths(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.iterdir()
+            if p.name.startswith(_PREFIX) and p.name.endswith(_SUFFIX)
+        )
+
+    def _path_for(self, key: str) -> Path:
+        safe = "".join(
+            c if c.isalnum() or c in "-_" else "-" for c in key
+        )
+        return self.directory / f"{_PREFIX}{safe}{_SUFFIX}"
+
+    def completed_keys(self) -> list[str]:
+        """Scenario keys with a readable checkpoint on disk."""
+        keys = []
+        for path in self._artifact_paths():
+            payload = self._read(path)
+            if payload is not None:
+                keys.append(payload["key"])
+        return keys
+
+    def save_scenario(self, key: str, payload) -> Path:
+        """Atomically persist one scenario's artifacts."""
+        path = self._path_for(key)
+        blob = pickle.dumps(
+            {"key": key, "payload": payload},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        _atomic_write_bytes(path, blob)
+        current_metrics().counter("checkpoint.saved").inc()
+        _log.debug("checkpoint.saved", scenario=key,
+                   bytes=len(blob), path=str(path))
+        return path
+
+    def load_scenario(self, key: str):
+        """Load one scenario's artifacts (KeyError when absent)."""
+        payload = self._read(self._path_for(key))
+        if payload is None:
+            raise KeyError(f"no checkpoint for scenario {key!r}")
+        return payload["payload"]
+
+    def _read(self, path: Path) -> dict | None:
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (FileNotFoundError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+        if not isinstance(payload, dict) or "key" not in payload:
+            return None
+        return payload
+
+
+def _atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Write-then-rename so readers never observe a partial file."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise

@@ -26,7 +26,12 @@ from .onchain import (
 from .sentiment import generate_sentiment
 from .tradfi import generate_tradfi
 
-__all__ = ["RawDataset", "generate_raw_dataset"]
+__all__ = [
+    "RawDataset",
+    "assemble_raw_dataset",
+    "category_generators",
+    "generate_raw_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,69 @@ class RawDataset:
         return counts
 
 
+def category_generators(
+    config: SimulationConfig,
+    latent: LatentMarket,
+    universe: MarketUniverse,
+) -> list[tuple[DataCategory, object]]:
+    """The per-source generators, in assembly order.
+
+    Each entry is ``(category, make)`` where ``make()`` produces that
+    source's :class:`~repro.frame.frame.Frame`. Exposed so the
+    resilience layer (:mod:`repro.resilience.degradation`) can wrap
+    each source in a retrying :class:`~repro.resilience.DataSource`
+    and apply per-source fault plans.
+    """
+    generators: list[tuple[DataCategory, object]] = [
+        (DataCategory.TECHNICAL,
+         lambda: technical_indicator_frame(universe.btc)),
+        (DataCategory.ONCHAIN_BTC,
+         lambda: generate_btc_onchain(config, latent, universe)),
+        (DataCategory.ONCHAIN_USDC,
+         lambda: generate_usdc_onchain(config, latent, universe)),
+        (DataCategory.SENTIMENT,
+         lambda: generate_sentiment(config, latent)),
+        (DataCategory.TRADFI,
+         lambda: generate_tradfi(config, latent)),
+        (DataCategory.MACRO,
+         lambda: generate_macro(config, latent)),
+    ]
+    if config.include_eth:
+        generators.insert(3, (
+            DataCategory.ONCHAIN_ETH,
+            lambda: generate_eth_onchain(config, latent, universe),
+        ))
+    return generators
+
+
+def assemble_raw_dataset(
+    config: SimulationConfig,
+    latent: LatentMarket,
+    universe: MarketUniverse,
+    parts: list[tuple[Frame, DataCategory]],
+) -> RawDataset:
+    """Join per-category frames into a :class:`RawDataset`."""
+    categories: dict[str, DataCategory] = {}
+    for frame, category in parts:
+        for name in frame.columns:
+            if name in categories:
+                raise ValueError(
+                    f"duplicate metric name across categories: "
+                    f"{name!r}"
+                )
+            categories[name] = category
+
+    features = concat_columns(*(frame for frame, _ in parts))
+    current_metrics().gauge("synth.metrics").set(features.n_cols)
+    return RawDataset(
+        config=config,
+        latent=latent,
+        universe=universe,
+        features=features,
+        categories=categories,
+    )
+
+
 def generate_raw_dataset(
     config: SimulationConfig | None = None,
 ) -> RawDataset:
@@ -84,47 +152,8 @@ def generate_raw_dataset(
         with span("synth.universe", n_assets=config.n_assets):
             universe = generate_universe(config, latent)
 
-        generators: list[tuple[DataCategory, object]] = [
-            (DataCategory.TECHNICAL,
-             lambda: technical_indicator_frame(universe.btc)),
-            (DataCategory.ONCHAIN_BTC,
-             lambda: generate_btc_onchain(config, latent, universe)),
-            (DataCategory.ONCHAIN_USDC,
-             lambda: generate_usdc_onchain(config, latent, universe)),
-            (DataCategory.SENTIMENT,
-             lambda: generate_sentiment(config, latent)),
-            (DataCategory.TRADFI,
-             lambda: generate_tradfi(config, latent)),
-            (DataCategory.MACRO,
-             lambda: generate_macro(config, latent)),
-        ]
-        if config.include_eth:
-            generators.insert(3, (
-                DataCategory.ONCHAIN_ETH,
-                lambda: generate_eth_onchain(config, latent, universe),
-            ))
-
         parts: list[tuple[Frame, DataCategory]] = []
-        for category, make in generators:
+        for category, make in category_generators(config, latent, universe):
             with span("synth.category", category=category.value):
                 parts.append((make(), category))
-
-        categories: dict[str, DataCategory] = {}
-        for frame, category in parts:
-            for name in frame.columns:
-                if name in categories:
-                    raise ValueError(
-                        f"duplicate metric name across categories: "
-                        f"{name!r}"
-                    )
-                categories[name] = category
-
-        features = concat_columns(*(frame for frame, _ in parts))
-        current_metrics().gauge("synth.metrics").set(features.n_cols)
-    return RawDataset(
-        config=config,
-        latent=latent,
-        universe=universe,
-        features=features,
-        categories=categories,
-    )
+        return assemble_raw_dataset(config, latent, universe, parts)

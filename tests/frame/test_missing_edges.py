@@ -1,0 +1,130 @@
+"""Edge cases for repro.frame.missing: empty/all-NaN inputs and the
+``limit=`` cap on fill runs."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    Frame,
+    backward_fill,
+    date_range,
+    fill_frame,
+    forward_fill,
+    interpolate_linear,
+    longest_flat_run,
+    longest_nan_run,
+)
+
+NAN = np.nan
+
+
+class TestAllNanColumns:
+    def test_forward_fill_all_nan_unchanged(self):
+        out = forward_fill(np.array([NAN, NAN, NAN]))
+        assert np.isnan(out).all()
+
+    def test_backward_fill_all_nan_unchanged(self):
+        out = backward_fill(np.array([NAN, NAN, NAN]), limit=5)
+        assert np.isnan(out).all()
+
+    def test_fill_frame_with_all_nan_column(self):
+        index = date_range("2020-01-01", periods=4)
+        frame = Frame(index, {
+            "dead": np.full(4, NAN),
+            "alive": np.array([1.0, NAN, NAN, 4.0]),
+        })
+        out = fill_frame(frame, "ffill")
+        assert np.isnan(out["dead"]).all()
+        assert out["alive"].tolist() == [1.0, 1.0, 1.0, 4.0]
+
+    def test_longest_runs_on_all_nan(self):
+        values = np.full(5, NAN)
+        assert longest_nan_run(values) == 5
+        assert longest_flat_run(values) == 1
+
+
+class TestLimitAtRunBoundaries:
+    def test_limit_equal_to_gap_fills_everything(self):
+        out = forward_fill(np.array([1.0, NAN, NAN, 4.0]), limit=2)
+        assert out.tolist() == [1.0, 1.0, 1.0, 4.0]
+
+    def test_limit_one_below_gap_leaves_last_nan(self):
+        out = forward_fill(np.array([1.0, NAN, NAN, 4.0]), limit=1)
+        assert out[1] == 1.0
+        assert np.isnan(out[2])
+        assert out[3] == 4.0
+
+    def test_limit_zero_fills_nothing(self):
+        out = forward_fill(np.array([1.0, NAN, NAN, 4.0]), limit=0)
+        assert out[0] == 1.0
+        assert np.isnan(out[1]) and np.isnan(out[2])
+
+    def test_gap_ending_at_series_end(self):
+        out = forward_fill(np.array([1.0, NAN, NAN]), limit=1)
+        assert out[1] == 1.0
+        assert np.isnan(out[2])
+
+    def test_backward_fill_limit_at_series_start(self):
+        out = backward_fill(np.array([NAN, NAN, 3.0]), limit=1)
+        assert np.isnan(out[0])
+        assert out[1] == 3.0
+
+    def test_limit_applies_per_gap_not_globally(self):
+        values = np.array([1.0, NAN, 2.0, NAN, 3.0])
+        out = forward_fill(values, limit=1)
+        assert out.tolist() == [1.0, 1.0, 2.0, 2.0, 3.0]
+
+
+class TestFillFrameLimit:
+    def _frame(self):
+        index = date_range("2020-01-01", periods=5)
+        return Frame(index, {
+            "a": np.array([1.0, NAN, NAN, NAN, 5.0]),
+        })
+
+    def test_ffill_limit_forwarded(self):
+        out = fill_frame(self._frame(), "ffill", limit=1)
+        assert out["a"][1] == 1.0
+        assert np.isnan(out["a"][2]) and np.isnan(out["a"][3])
+
+    def test_bfill_limit_forwarded(self):
+        out = fill_frame(self._frame(), "bfill", limit=1)
+        assert np.isnan(out["a"][1]) and np.isnan(out["a"][2])
+        assert out["a"][3] == 5.0
+
+    def test_no_limit_fills_whole_gap(self):
+        out = fill_frame(self._frame(), "ffill")
+        assert not np.isnan(out["a"]).any()
+
+    def test_interpolate_with_limit_rejected(self):
+        with pytest.raises(ValueError, match="only supported"):
+            fill_frame(self._frame(), "interpolate", limit=2)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            fill_frame(self._frame(), "ffill", limit=-1)
+
+    def test_unknown_method_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown fill method"):
+            fill_frame(self._frame(), "magic", limit=1)
+
+
+class TestEmptyFrames:
+    def test_fill_empty_frame(self):
+        frame = Frame(date_range("2020-01-01", periods=0), {})
+        out = fill_frame(frame, "ffill", limit=3)
+        assert out.n_rows == 0
+        assert out.n_cols == 0
+
+    def test_fill_zero_row_column(self):
+        frame = Frame(date_range("2020-01-01", periods=0),
+                      {"a": np.empty(0)})
+        out = fill_frame(frame, "ffill")
+        assert out["a"].size == 0
+
+    def test_interpolate_empty(self):
+        assert interpolate_linear(np.empty(0)).size == 0
+
+    def test_fills_empty(self):
+        assert forward_fill(np.empty(0), limit=2).size == 0
+        assert backward_fill(np.empty(0)).size == 0

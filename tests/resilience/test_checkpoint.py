@@ -1,0 +1,116 @@
+"""Tests for atomic checkpoint/resume storage."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    CheckpointMismatch,
+    RunCheckpoint,
+    config_fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        from repro import ExperimentConfig
+
+        a = ExperimentConfig.fast()
+        b = ExperimentConfig.fast()
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_differs_across_configs(self):
+        from repro import ExperimentConfig
+
+        a = ExperimentConfig.fast(seed=1)
+        b = ExperimentConfig.fast(seed=2)
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+
+class TestRunCheckpoint:
+    def test_save_load_roundtrip(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc123")
+        payload = ("2017_7", {"mse": 1.25}, [1, 2, 3])
+        cp.save_scenario("2017_7", payload)
+        assert cp.load_scenario("2017_7") == payload
+        assert cp.completed_keys() == ["2017_7"]
+
+    def test_missing_scenario_raises_keyerror(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc123")
+        with pytest.raises(KeyError):
+            cp.load_scenario("2019_90")
+
+    def test_resume_without_manifest_refused(self, tmp_path):
+        cp = RunCheckpoint(tmp_path / "never-created")
+        with pytest.raises(CheckpointMismatch, match="no manifest"):
+            cp.initialise("abc123", resume=True)
+
+    def test_resume_with_wrong_fingerprint_refused(self, tmp_path):
+        RunCheckpoint(tmp_path).initialise("fingerprint-a")
+        with pytest.raises(CheckpointMismatch,
+                           match="different configuration"):
+            RunCheckpoint(tmp_path).initialise("fingerprint-b",
+                                               resume=True)
+
+    def test_resume_with_matching_fingerprint_keeps_artifacts(
+            self, tmp_path):
+        first = RunCheckpoint(tmp_path)
+        first.initialise("same")
+        first.save_scenario("2017_7", "artifact")
+        second = RunCheckpoint(tmp_path)
+        second.initialise("same", resume=True)
+        assert second.completed_keys() == ["2017_7"]
+        assert second.load_scenario("2017_7") == "artifact"
+
+    def test_fresh_run_with_new_config_discards_stale_artifacts(
+            self, tmp_path):
+        old = RunCheckpoint(tmp_path)
+        old.initialise("old-config")
+        old.save_scenario("2017_7", "stale")
+        fresh = RunCheckpoint(tmp_path)
+        fresh.initialise("new-config")  # not a resume: takes over
+        assert fresh.completed_keys() == []
+
+    def test_corrupt_artifact_treated_as_absent(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        path = cp.save_scenario("2017_7", "good")
+        path.write_bytes(b"definitely not a pickle")
+        assert cp.completed_keys() == []
+        with pytest.raises(KeyError):
+            cp.load_scenario("2017_7")
+
+    def test_truncated_artifact_treated_as_absent(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        path = cp.save_scenario("2017_7", list(range(1000)))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # simulated torn write
+        assert cp.completed_keys() == []
+
+    def test_key_sanitised_for_filesystem(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        cp.save_scenario("2017/7:weird key", "value")
+        assert cp.load_scenario("2017/7:weird key") == "value"
+        names = [p.name for p in tmp_path.iterdir()]
+        assert all("/" not in n and ":" not in n for n in names)
+
+    def test_checkpoint_is_picklable(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        clone = pickle.loads(pickle.dumps(cp))
+        clone.save_scenario("2017_7", "from-clone")
+        assert cp.load_scenario("2017_7") == "from-clone"
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        cp.save_scenario("a", 1)
+        cp.save_scenario("a", 2)  # overwrite
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+        assert cp.load_scenario("a") == 2

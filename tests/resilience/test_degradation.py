@@ -1,0 +1,178 @@
+"""Tests for resilient dataset assembly under degradation policies."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+    SourceUnavailable,
+    resilient_raw_dataset,
+)
+from repro.synth import SimulationConfig, generate_raw_dataset
+
+@pytest.fixture(scope="module")
+def sim_config():
+    return SimulationConfig(start="2017-01-01", end="2018-06-30",
+                            seed=42, n_assets=105)
+
+
+def _no_sleep():
+    return {"sleep": lambda seconds: None}
+
+
+class TestCleanPath:
+    def test_no_plan_matches_plain_generation(self, sim_config):
+        plain = generate_raw_dataset(sim_config)
+        raw, report = resilient_raw_dataset(sim_config, **_no_sleep())
+        assert report.ok
+        assert report.total_faults() == 0
+        assert raw.features.columns == plain.features.columns
+        np.testing.assert_array_equal(
+            raw.features.to_matrix(), plain.features.to_matrix()
+        )
+
+    def test_transient_failure_recovers(self, sim_config):
+        plan = FaultPlan(seed=1, events=(
+            FaultEvent(kind="fetch_error", category="macro", failures=2),
+        ))
+        plain = generate_raw_dataset(sim_config)
+        raw, report = resilient_raw_dataset(
+            sim_config, plan=plan, **_no_sleep()
+        )
+        outcome = {o.category: o for o in report.outcomes}["macro"]
+        assert outcome.status == "recovered"
+        assert outcome.attempts == 3
+        assert report.total_retries() == 2
+        # recovery is invisible in the data itself
+        np.testing.assert_array_equal(
+            raw.features.to_matrix(), plain.features.to_matrix()
+        )
+
+
+class TestAbortPolicy:
+    def test_permanent_failure_aborts(self, sim_config):
+        plan = FaultPlan(seed=1, events=(
+            FaultEvent(kind="fetch_error", category="macro",
+                       permanent=True),
+        ))
+        with pytest.raises(SourceUnavailable):
+            resilient_raw_dataset(sim_config, plan=plan, policy="abort",
+                                  retry=RetryPolicy(max_attempts=2),
+                                  **_no_sleep())
+
+    def test_corruption_passes_through_untouched(self, sim_config):
+        plan = FaultPlan(seed=1, events=(
+            FaultEvent(kind="outage", category="macro",
+                       start_frac=0.4, duration_frac=0.1),
+        ))
+        raw, report = resilient_raw_dataset(
+            sim_config, plan=plan, policy="abort", **_no_sleep()
+        )
+        outcome = {o.category: o for o in report.outcomes}["macro"]
+        assert outcome.status == "degraded"
+        assert outcome.faults  # corruption recorded, not repaired
+        nan_total = int(np.isnan(raw.features.to_matrix()).sum())
+        assert nan_total > 0
+
+
+class TestDropCategoryPolicy:
+    def test_dead_source_is_excluded(self, sim_config):
+        plan = FaultPlan(seed=1, events=(
+            FaultEvent(kind="fetch_error", category="macro",
+                       permanent=True),
+        ))
+        raw, report = resilient_raw_dataset(
+            sim_config, plan=plan, policy="drop-category",
+            retry=RetryPolicy(max_attempts=2), **_no_sleep()
+        )
+        assert report.dropped_categories() == ["macro"]
+        assert not any(
+            category.value == "macro"
+            for category in raw.categories.values()
+        )
+        plain = generate_raw_dataset(sim_config)
+        assert raw.features.n_cols < plain.features.n_cols
+
+    def test_every_source_dead_raises(self, sim_config):
+        events = tuple(
+            FaultEvent(kind="fetch_error", category=c, permanent=True)
+            for c in ("technical", "onchain_btc", "onchain_usdc",
+                      "sentiment", "tradfi", "macro")
+        )
+        with pytest.raises(SourceUnavailable, match="every data source"):
+            resilient_raw_dataset(
+                sim_config, plan=FaultPlan(seed=1, events=events),
+                policy="drop-category",
+                retry=RetryPolicy(max_attempts=1), **_no_sleep()
+            )
+
+
+class TestFillPolicy:
+    def test_fill_repairs_corruption(self, sim_config):
+        plan = FaultPlan(seed=1, events=(
+            FaultEvent(kind="outage", category="macro",
+                       start_frac=0.4, duration_frac=0.1),
+        ))
+        raw, report = resilient_raw_dataset(
+            sim_config, plan=plan, policy="fill", **_no_sleep()
+        )
+        outcome = {o.category: o for o in report.outcomes}["macro"]
+        assert outcome.status == "filled"
+        assert outcome.filled_values > 0
+
+    def test_fill_limit_caps_repair_length(self, sim_config):
+        plan = FaultPlan(seed=1, events=(
+            FaultEvent(kind="outage", category="macro",
+                       start_frac=0.4, duration_frac=0.2),
+        ))
+        _, unlimited = resilient_raw_dataset(
+            sim_config, plan=plan, policy="fill", **_no_sleep()
+        )
+        _, limited = resilient_raw_dataset(
+            sim_config, plan=plan, policy="fill", fill_limit=3,
+            **_no_sleep()
+        )
+        def total(rep):
+            return sum(o.filled_values for o in rep.outcomes)
+
+        assert 0 < total(limited) < total(unlimited)
+
+
+class TestDeterminism:
+    def test_bit_identical_across_calls(self, sim_config):
+        plan = FaultPlan(seed=5, events=(
+            FaultEvent(kind="nan_gaps", category="sentiment",
+                       start_frac=0.1, duration_frac=0.5, rate=0.3),
+            FaultEvent(kind="spike", category="tradfi",
+                       start_frac=0.3, duration_frac=0.2,
+                       magnitude=9.0, rate=0.2),
+        ))
+        raw1, _ = resilient_raw_dataset(sim_config, plan=plan,
+                                        policy="fill", **_no_sleep())
+        raw2, _ = resilient_raw_dataset(sim_config, plan=plan,
+                                        policy="fill", **_no_sleep())
+        assert raw1.features.columns == raw2.features.columns
+        np.testing.assert_array_equal(
+            raw1.features.to_matrix(), raw2.features.to_matrix()
+        )
+
+    def test_report_serialises(self, sim_config):
+        import json
+
+        plan = FaultPlan(seed=5, events=(
+            FaultEvent(kind="outage", category="macro",
+                       start_frac=0.2, duration_frac=0.05),
+        ))
+        _, report = resilient_raw_dataset(sim_config, plan=plan,
+                                          policy="fill", **_no_sleep())
+        payload = json.dumps(report.to_dict())
+        assert "macro" in payload
+        assert "filled" in payload
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self, sim_config):
+        with pytest.raises(ValueError, match="unknown degradation"):
+            resilient_raw_dataset(sim_config, policy="pray")

@@ -60,6 +60,45 @@ class TestParser:
         assert args.command == "trace-summary"
         assert args.top == 3
 
+    def test_run_resilience_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--keep-going", "--fault-plan", str(tmp_path / "p.json"),
+             "--degradation", "fill"]
+        )
+        assert args.checkpoint_dir.name == "ckpt"
+        assert args.keep_going
+        assert args.fault_plan.name == "p.json"
+        assert args.degradation == "fill"
+
+    def test_run_resilience_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.checkpoint_dir is None
+        assert args.resume is None
+        assert not args.keep_going
+        assert args.fault_plan is None
+        assert args.degradation is None
+
+    def test_bad_degradation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--degradation", "hope"])
+
+    def test_chaos_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["chaos", "--chaos-seed", "9", "--save-plan",
+             str(tmp_path / "p.json"), "--degradation", "drop-category"]
+        )
+        assert args.command == "chaos"
+        assert args.chaos_seed == 9
+        assert args.save_plan.name == "p.json"
+        assert args.degradation == "drop-category"
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.preset == "fast"
+        assert args.degradation == "fill"
+        assert args.plan is None
+
 
 class TestSimulateCommand:
     def test_writes_csv_bundle(self, tmp_path, capsys, monkeypatch):
@@ -192,6 +231,173 @@ class TestTraceSummaryCommand:
         code = main(["trace-summary", str(path)])
         assert code == 1
         assert "not a span trace" in capsys.readouterr().out
+
+
+class _Captured(Exception):
+    """Sentinel raised by stubs after recording the call — lets the
+    tests check how ``main`` wires flags into ``run_experiment`` without
+    paying for (or rendering) a real run."""
+
+
+class TestRunResilienceWiring:
+    @staticmethod
+    def _capture(monkeypatch, store):
+        import repro.cli as cli
+
+        def stub(config, checkpoint_dir=None, resume=False):
+            store.update(config=config, checkpoint_dir=checkpoint_dir,
+                         resume=resume)
+            raise _Captured
+
+        monkeypatch.setattr(cli, "run_experiment", stub)
+
+    def test_flags_reach_run_experiment(self, tmp_path, monkeypatch):
+        from repro.resilience import random_fault_plan
+
+        plan_path = random_fault_plan(3, ["macro"]).save(
+            tmp_path / "plan.json")
+        store = {}
+        self._capture(monkeypatch, store)
+        with pytest.raises(_Captured):
+            main(["run", "--checkpoint-dir", str(tmp_path / "ckpt"),
+                  "--keep-going", "--fault-plan", str(plan_path),
+                  "--degradation", "fill", "--quiet"])
+        config = store["config"]
+        assert config.on_error == "capture"
+        assert config.degradation == "fill"
+        assert config.fault_plan is not None
+        assert len(config.fault_plan.events) > 0
+        assert store["checkpoint_dir"].endswith("ckpt")
+        assert store["resume"] is False
+
+    def test_resume_flag_sets_dir_and_resume(self, tmp_path,
+                                             monkeypatch):
+        store = {}
+        self._capture(monkeypatch, store)
+        with pytest.raises(_Captured):
+            main(["run", "--resume", str(tmp_path / "ckpt"), "--quiet"])
+        assert store["checkpoint_dir"].endswith("ckpt")
+        assert store["resume"] is True
+
+    def test_checkpoint_mismatch_is_a_clean_failure(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.resilience import CheckpointMismatch
+
+        def stub(config, checkpoint_dir=None, resume=False):
+            raise CheckpointMismatch("different configuration")
+
+        monkeypatch.setattr(cli, "run_experiment", stub)
+        code = main(["run", "--resume", str(tmp_path / "ckpt"),
+                     "--quiet"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "cannot resume" in out
+        assert "start fresh" in out
+
+
+class TestChaosCommand:
+    @staticmethod
+    def _stub_chaos(monkeypatch, store):
+        import repro.cli as cli
+        from repro.resilience import CategoryDegradation, ChaosReport
+
+        def stub(config, plan, policy="fill"):
+            store.update(config=config, plan=plan, policy=policy)
+            return ChaosReport(
+                plan=plan, policy=policy,
+                rows=[CategoryDegradation("diverse", 1.0, 1.25)],
+                n_scenarios_compared=2,
+            )
+
+        monkeypatch.setattr(cli, "run_chaos", stub)
+
+    def test_prints_table_and_saves_plan(self, tmp_path, monkeypatch,
+                                         capsys):
+        store = {}
+        self._stub_chaos(monkeypatch, store)
+        plan_path = tmp_path / "plan.json"
+        code = main(["chaos", "--chaos-seed", "7", "--save-plan",
+                     str(plan_path), "--quiet"])
+        assert code == 0
+        assert plan_path.exists()
+        out = capsys.readouterr().out
+        assert "fault plan written to" in out
+        assert "+25.0%" in out
+        assert store["policy"] == "fill"
+        assert len(store["plan"].events) > 0
+
+    def test_loads_existing_plan(self, tmp_path, monkeypatch, capsys):
+        from repro.resilience import random_fault_plan
+
+        plan = random_fault_plan(5, ["sentiment"])
+        plan_path = plan.save(tmp_path / "plan.json")
+        store = {}
+        self._stub_chaos(monkeypatch, store)
+        code = main(["chaos", "--plan", str(plan_path), "--quiet",
+                     "--degradation", "drop-category"])
+        assert code == 0
+        assert store["policy"] == "drop-category"
+        assert store["plan"].seed == plan.seed
+        assert len(store["plan"].events) == len(plan.events)
+
+    def test_report_file_written(self, tmp_path, monkeypatch, capsys):
+        self._stub_chaos(monkeypatch, {})
+        report_path = tmp_path / "chaos.txt"
+        code = main(["chaos", "--report", str(report_path), "--quiet"])
+        assert code == 0
+        assert "clean MSE" in report_path.read_text()
+
+
+class TestTraceSummaryCounters:
+    @staticmethod
+    def _write_trace_with_counters(path):
+        from repro.obs import Tracer, write_jsonl
+        from repro.obs.trace import Span
+
+        class Clock:
+            def __init__(self):
+                self.now = 0.0
+
+            def __call__(self):
+                self.now += 0.5
+                return self.now
+
+        tracer = Tracer(clock=Clock())
+        with tracer.span("experiment.run"):
+            pass
+        spans = list(tracer.spans)
+        spans.append(Span(
+            name="run.metrics", start=spans[0].start,
+            end=spans[0].start,
+            attrs={"counters": {"resilience.retry": 3,
+                                "checkpoint.saved": 2}},
+        ))
+        return write_jsonl(spans, path)
+
+    def test_counters_rendered_outside_stage_table(self, tmp_path,
+                                                   capsys):
+        path = self._write_trace_with_counters(tmp_path / "t.jsonl")
+        code = main(["trace-summary", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "resilience.retry" in out
+        assert "3" in out
+        # the synthetic carrier never shows up as a timing stage
+        assert "run.metrics" not in out
+        assert "1 spans" in out
+
+    def test_counters_only_trace_fails_cleanly(self, tmp_path, capsys):
+        from repro.obs import write_jsonl
+        from repro.obs.trace import Span
+
+        spans = [Span(name="run.metrics", start=0.0, end=0.0,
+                      attrs={"counters": {"a": 1}})]
+        path = write_jsonl(spans, tmp_path / "t.jsonl")
+        code = main(["trace-summary", str(path)])
+        assert code == 1
+        assert "no timing spans" in capsys.readouterr().out
 
 
 class TestIndexCommand:
