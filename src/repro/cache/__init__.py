@@ -1,0 +1,54 @@
+"""Content-addressed artifact caching for the experiment pipeline.
+
+The paper's workload recomputes identical artifacts constantly: raw
+synthetic datasets regenerate per process, engineered scenario frames
+rebuild per run, and re-running a configuration repeats thousands of
+deterministic model fits. This package memoises those artifacts on disk,
+addressed by sha256 digests of *everything that determines them* —
+config fingerprints (via the :mod:`repro.resilience.checkpoint`
+machinery, which folds fault plans and degradation policies into the
+address so chaos runs never alias clean runs), estimator parameters, and
+raw data bytes.
+
+Layout:
+
+* :mod:`~repro.cache.store` — :class:`CacheStore`, the atomic on-disk
+  pickle store with hit/miss/bytes counters in the metrics registry.
+* :mod:`~repro.cache.keys` — key builders (dataset, scenario frames,
+  per-scenario task results, fitted models).
+* :mod:`~repro.cache.context` — :func:`use_cache` / :func:`current_cache`
+  scoped store access, so deep layers need no signature changes.
+* :mod:`~repro.cache.fit` — :func:`fit_cached`, memoised ``fit`` through
+  :mod:`repro.ml.persistence` (bit-identical round-trip).
+
+Wired into ``run_experiment(cache_dir=...)`` and the CLI via
+``repro run --cache-dir / --no-cache`` (see :mod:`repro.core.pipeline`).
+Everything degrades to plain computation when no store is installed.
+"""
+
+from .context import current_cache, use_cache
+from .fit import fit_cached
+from .keys import (
+    array_digest,
+    dataset_key,
+    fingerprint_parts,
+    frame_digest,
+    model_fit_key,
+    scenarios_key,
+    task_key,
+)
+from .store import CacheStore
+
+__all__ = [
+    "CacheStore",
+    "array_digest",
+    "current_cache",
+    "dataset_key",
+    "fingerprint_parts",
+    "fit_cached",
+    "frame_digest",
+    "model_fit_key",
+    "scenarios_key",
+    "task_key",
+    "use_cache",
+]

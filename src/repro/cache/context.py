@@ -1,0 +1,51 @@
+"""Contextual cache-store access (mirrors ``repro.obs.current_metrics``).
+
+Deep pipeline layers (FRA's consensus fits, the horizons RF, the SHAP
+ranking GB) reach the active store through :func:`current_cache` instead
+of threading a ``cache=`` parameter through every signature. The store
+is installed for a scope with :func:`use_cache`::
+
+    with use_cache(CacheStore(cache_dir)):
+        results = run_experiment(config)
+
+When no store is installed (the default), :func:`current_cache` returns
+``None`` and every caching helper degrades to a plain computation —
+library code never *requires* a cache.
+
+Context variables do not cross process boundaries, so parallel work
+units that should cache re-install the store worker-side: the pipeline
+passes the (cheaply picklable) :class:`~repro.cache.store.CacheStore`
+inside each task and wraps the task body in ``use_cache``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .store import CacheStore
+
+__all__ = ["current_cache", "use_cache"]
+
+_ACTIVE: ContextVar[CacheStore | None] = ContextVar(
+    "repro_cache_store", default=None
+)
+
+
+def current_cache() -> CacheStore | None:
+    """The cache store installed for the current context, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_cache(store: CacheStore | None):
+    """Install ``store`` as the contextual cache for the ``with`` body.
+
+    ``use_cache(None)`` explicitly disables caching for the scope, which
+    nested code cannot override by accident.
+    """
+    token = _ACTIVE.set(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE.reset(token)

@@ -1,0 +1,53 @@
+"""Memoised estimator fitting through :mod:`repro.ml.persistence`.
+
+The pipeline's hot spots re-fit identical models: re-running a config
+repeats every FRA consensus fit, every horizons importance forest and
+every SHAP-ranking booster with the same parameters, seeds and training
+bytes. :func:`fit_cached` short-circuits those fits against the
+contextual :class:`~repro.cache.store.CacheStore`, storing the portable
+dict form from :func:`repro.ml.persistence.model_to_dict` — the
+round-trip is exact (flat tree arrays are serialised verbatim), so a
+cache hit is bit-identical to refitting.
+
+Grid-search cells are deliberately *not* cached: a grid is many small
+fits with low individual cost, and persisting every cell would bloat
+the store for little win. The single-fit call sites dominate.
+"""
+
+from __future__ import annotations
+
+from ..ml.persistence import model_from_dict, model_to_dict
+from ..obs import get_logger
+from .context import current_cache
+from .keys import model_fit_key
+
+__all__ = ["fit_cached"]
+
+_log = get_logger("cache")
+
+
+def fit_cached(estimator, X, y, tag: str = ""):
+    """``estimator.fit(X, y)`` memoised by (params, data) content address.
+
+    With no contextual cache installed this is exactly ``fit``. On a hit
+    the *returned* estimator is reconstructed from the stored artifact
+    (the passed instance is left unfitted); on a miss the instance is
+    fitted, stored, and returned. Callers must use the return value —
+    the same contract as ``fit`` itself.
+
+    ``tag`` namespaces call sites so two stages fitting the same model
+    class on the same bytes still get distinct entries when desired.
+    """
+    store = current_cache()
+    if store is None:
+        return estimator.fit(X, y)
+    key = model_fit_key(estimator, X, y, tag=tag)
+    payload = store.get(key)
+    if payload is not None:
+        try:
+            return model_from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            _log.warning("cache.model_decode_failed", key=key, tag=tag)
+    estimator.fit(X, y)
+    store.put(key, model_to_dict(estimator))
+    return estimator

@@ -1,0 +1,119 @@
+"""Cache-key construction: every input folds into the address.
+
+All keys are full sha256 hex digests built from two kinds of material:
+
+* **Config fingerprints** — frozen-dataclass ``repr`` strings, the same
+  machinery :func:`repro.resilience.checkpoint.config_fingerprint` uses
+  to guard checkpoint directories. Fault plans and degradation policies
+  are part of those reprs, so a faulted/chaos run can *never* address a
+  clean run's entry (and vice versa) — invalidation is structural, not
+  bookkept.
+* **Data digests** — raw bytes of the arrays an artifact was computed
+  from (:func:`frame_digest`, :func:`array_digest`). Callers that accept
+  externally-supplied data (e.g. ``run_experiment(raw=...)``) fold the
+  digest in, so a hand-modified dataset cannot collide with the
+  config-derived one.
+
+Execution-shape fields (``n_jobs``, ``verbose``) never enter a key: the
+pipeline guarantees bit-identical results for any worker count, so a
+serial run may reuse a parallel run's artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = [
+    "array_digest",
+    "dataset_key",
+    "fingerprint_parts",
+    "frame_digest",
+    "model_fit_key",
+    "scenarios_key",
+    "task_key",
+]
+
+
+def fingerprint_parts(*parts) -> str:
+    """sha256 over the ``repr`` of each part (order-sensitive).
+
+    Parts are joined with an unambiguous separator so adjacent reprs
+    cannot merge into a colliding stream.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def array_digest(array) -> str:
+    """sha256 of an array's dtype, shape, and raw bytes."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(repr(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def frame_digest(frame) -> str:
+    """sha256 of a :class:`~repro.frame.Frame`'s columns, index and values.
+
+    NaNs hash stably (IEEE-754 bit patterns), so frames with missing
+    entries — e.g. faulted datasets — digest deterministically too.
+    """
+    return fingerprint_parts(
+        tuple(frame.columns),
+        array_digest(frame.index.ordinals),
+        array_digest(frame.to_matrix()),
+    )
+
+
+def dataset_key(simulation_config, fault_plan=None, degradation=None) -> str:
+    """Key for a generated raw dataset.
+
+    The fault plan and degradation policy are explicit parts: the same
+    simulation seed under chaos produces different data, and the two
+    must never share an address.
+    """
+    return fingerprint_parts(
+        "dataset", simulation_config, fault_plan, degradation
+    )
+
+
+def scenarios_key(dataset_digest: str, periods, windows) -> str:
+    """Key for the engineered per-scenario feature frames."""
+    return fingerprint_parts(
+        "scenarios", dataset_digest, tuple(periods), tuple(windows)
+    )
+
+
+def task_key(config_fingerprint: str, dataset_digest: str,
+             scenario_key: str) -> str:
+    """Key for one scenario's full pipeline result (selection + models).
+
+    ``config_fingerprint`` must already exclude execution-shape fields;
+    ``dataset_digest`` ties the entry to the actual input data, covering
+    callers that pass a custom ``raw`` dataset into ``run_experiment``.
+    """
+    return fingerprint_parts(
+        "task", config_fingerprint, dataset_digest, scenario_key
+    )
+
+
+def model_fit_key(estimator, X, y, tag: str = "") -> str:
+    """Key for a fitted estimator artifact.
+
+    Covers the estimator class, its full parameter dict (including
+    ``random_state`` and ``splitter`` but not ``n_jobs`` — worker count
+    does not change the fit), and the training data bytes.
+    """
+    params = dict(estimator.get_params())
+    params.pop("n_jobs", None)
+    return fingerprint_parts(
+        "fit", tag, type(estimator).__name__, sorted(params.items()),
+        array_digest(X), array_digest(y),
+    )

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk artifact store.
+
+A :class:`CacheStore` maps hex digest keys to pickled payloads under a
+cache directory. Keys are produced by :mod:`repro.cache.keys` and are
+*content addresses*: every input that could change the artifact —
+config fields, fault plans, dataset bytes, estimator parameters — is
+folded into the digest, so invalidation is automatic (a different input
+is a different key; stale entries are simply never addressed again).
+
+Properties:
+
+* **Atomic writes.** Entries are written through
+  :func:`repro.resilience.checkpoint.atomic_write_bytes` (temp file +
+  ``os.replace``), so concurrent writers and killed processes can never
+  leave a readable-but-corrupt entry; two workers racing on the same key
+  both write the same content and either rename wins.
+* **Self-verifying reads.** Unreadable or truncated pickles behave as
+  misses, not errors.
+* **Observable.** Every operation bumps ``cache.hits`` /
+  ``cache.misses`` / ``cache.writes`` and the ``cache.bytes_read`` /
+  ``cache.bytes_written`` counters in the contextual
+  :class:`~repro.obs.metrics.MetricsRegistry`, so ``repro trace-summary``
+  shows cache effectiveness per run — including from worker processes,
+  whose registries merge back into the parent.
+
+The store itself holds only the directory path, so it pickles cheaply
+into :mod:`repro.parallel` worker processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from ..obs import current_metrics, get_logger
+from ..resilience.checkpoint import atomic_write_bytes
+
+__all__ = ["CacheStore"]
+
+_log = get_logger("cache")
+
+_SUFFIX = ".pkl"
+
+
+class CacheStore:
+    """Pickle store addressed by hex-digest keys under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Cache root. Created lazily on the first write. Entries are
+        sharded by the first two key characters (``ab12…`` →
+        ``<dir>/ab/ab12….pkl``) to keep directory listings short.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStore({str(self.directory)!r})"
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be hex digests, got {key!r}")
+        return self.directory / key[:2] / f"{key}{_SUFFIX}"
+
+    def get(self, key: str, default=None):
+        """The payload stored under ``key``, or ``default`` on a miss.
+
+        Corrupt or partially-written entries (which atomic writes make
+        nearly impossible, but a torn disk can still produce) count as
+        misses.
+        """
+        path = self._path_for(key)
+        try:
+            blob = path.read_bytes()
+            payload = pickle.loads(blob)
+        except (FileNotFoundError, NotADirectoryError, pickle.UnpicklingError,
+                EOFError, AttributeError, ImportError, MemoryError):
+            current_metrics().counter("cache.misses").inc()
+            return default
+        metrics = current_metrics()
+        metrics.counter("cache.hits").inc()
+        metrics.counter("cache.bytes_read").inc(len(blob))
+        _log.debug("cache.hit", key=key, bytes=len(blob))
+        return payload
+
+    def put(self, key: str, payload) -> int:
+        """Atomically store ``payload`` under ``key``; returns bytes written."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        atomic_write_bytes(path, blob)
+        metrics = current_metrics()
+        metrics.counter("cache.writes").inc()
+        metrics.counter("cache.bytes_written").inc(len(blob))
+        _log.debug("cache.put", key=key, bytes=len(blob))
+        return len(blob)
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has an entry on disk (no counters, no read)."""
+        return self._path_for(key).is_file()
+
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob(f"*/*{_SUFFIX}"))
+
+    def size_bytes(self) -> int:
+        """Total bytes of all entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(
+            p.stat().st_size for p in self.directory.glob(f"*/*{_SUFFIX}")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob(f"*/*{_SUFFIX}"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed

@@ -27,6 +27,7 @@ Examples::
     python -m repro run --preset fast --trace t.jsonl --log-level info
     python -m repro run --preset fast --checkpoint-dir ckpt/
     python -m repro run --preset fast --resume ckpt/
+    python -m repro run --preset fast --splitter hist --cache-dir cache/
     python -m repro chaos --preset fast --chaos-seed 11
     python -m repro trace-summary t.jsonl
     python -m repro index --seed 7
@@ -36,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -134,6 +136,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the scenario fan-out "
                           "(default: $REPRO_JOBS or all cores; 1 = serial; "
                           "results are identical for any value)")
+    run.add_argument("--splitter", choices=("exact", "hist"),
+                     default=None,
+                     help="tree-growth kernel for every forest/booster "
+                          "fit: 'exact' (bit-identical to historical "
+                          "results) or 'hist' (quantile-binned histogram "
+                          "kernel, substantially faster; statistically "
+                          "equivalent output)")
+    run.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                     help="content-addressed artifact cache: memoise the "
+                          "dataset, scenario frames, per-scenario results "
+                          "and model fits here "
+                          "(default: $REPRO_CACHE_DIR if set)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the artifact cache even when "
+                          "$REPRO_CACHE_DIR is set")
     run.add_argument("--checkpoint-dir", type=Path, default=None,
                      metavar="DIR",
                      help="persist each finished scenario to this "
@@ -307,6 +324,17 @@ def _cmd_run(args) -> int:
         config = dataclasses.replace(config, degradation=args.degradation)
     if args.keep_going:
         config = dataclasses.replace(config, on_error="capture")
+    if args.splitter is not None:
+        config = dataclasses.replace(config, splitter=args.splitter)
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir is not None \
+            else os.environ.get("REPRO_CACHE_DIR") or None
+    # Passed as a conditional kwarg so callers that wrap run_experiment
+    # with a narrower signature keep working when no cache is requested.
+    cache_kwargs = {"cache_dir": str(cache_dir)} \
+        if cache_dir is not None else {}
 
     checkpoint_dir = args.resume if args.resume is not None \
         else args.checkpoint_dir
@@ -316,6 +344,7 @@ def _cmd_run(args) -> int:
             checkpoint_dir=(str(checkpoint_dir)
                             if checkpoint_dir is not None else None),
             resume=args.resume is not None,
+            **cache_kwargs,
         )
     except CheckpointMismatch as exc:
         print(f"cannot resume from {checkpoint_dir}: {exc}")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cache import fit_cached
 from ..ml.forest import RandomForestRegressor
 from ..obs import span
 from .scenarios import Scenario
@@ -65,9 +66,9 @@ def rf_feature_importance(
             "n_estimators": 30, "max_depth": 12, "max_features": "sqrt",
             "min_samples_leaf": 2,
         }
-        model = RandomForestRegressor(
+        model = fit_cached(RandomForestRegressor(
             random_state=random_state, n_jobs=n_jobs, **params
-        ).fit(sub.X, sub.y)
+        ), sub.X, sub.y, tag="horizons.rf")
         return dict(zip(sub.feature_names,
                         (float(v) for v in model.feature_importances_)))
 

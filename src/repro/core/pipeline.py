@@ -18,9 +18,18 @@ Three presets trade fidelity for runtime:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from functools import partial
 
+from ..cache import (
+    CacheStore,
+    dataset_key,
+    frame_digest,
+    scenarios_key,
+    task_key,
+    use_cache,
+)
 from ..categories import DataCategory
 from ..frame.validation import ColumnRule, validate_frame
 from ..obs import (
@@ -97,6 +106,15 @@ class ExperimentConfig:
         "min_samples_leaf": 2,
     })
     run_gb_validation: bool = True
+    splitter: str = "exact"
+    """Tree-growth kernel for every forest/booster fit in the run:
+    ``"exact"`` (the seed algorithm, bit-identical to historical results)
+    or ``"hist"`` (quantile-binned histogram kernel, substantially faster
+    at the study's ensemble shapes with statistically equivalent output;
+    see :mod:`repro.ml.tree`).  Propagated into the FRA, SHAP, horizons
+    and improvement model parameters unless a stage's params already pin
+    a splitter explicitly."""
+
     verbose: bool = False
     n_jobs: int | None = None
     """Scenario fan-out width: each (period, window) scenario — feature
@@ -259,6 +277,59 @@ class ExperimentConfig:
             improvement_rf=ImprovementConfig(model="rf", cv_folds=5),
             improvement_gb=ImprovementConfig(model="gb", cv_folds=5),
         )
+
+
+_SPLITTERS = ("exact", "hist")
+
+
+def _params_with_splitter(params: dict, splitter: str) -> dict:
+    """``params`` with the run splitter injected (explicit pins win)."""
+    if "splitter" in params:
+        return params
+    return {**params, "splitter": splitter}
+
+
+def _apply_splitter(config: ExperimentConfig) -> ExperimentConfig:
+    """Expand ``config.splitter`` into every stage's model parameters.
+
+    ``"exact"`` is the estimators' own default, so the config passes
+    through untouched (keeping fingerprints and historical behaviour
+    stable).  For ``"hist"`` the splitter lands in the FRA/SHAP/horizons
+    param dicts and as a single-value axis of the improvement grids —
+    tree-based families only; MLP and stacking estimators take no
+    splitter.  Idempotent: params that already pin one are left alone.
+    """
+    splitter = config.splitter
+    if splitter == "exact":
+        return config
+    fra = replace(
+        config.fra,
+        rf_params=_params_with_splitter(config.fra.rf_params, splitter),
+        gb_params=_params_with_splitter(config.fra.gb_params, splitter),
+    )
+    shap = replace(
+        config.shap,
+        gb_params=_params_with_splitter(config.shap.gb_params, splitter),
+    )
+    improvements = {}
+    for label, imp in (("improvement_rf", config.improvement_rf),
+                       ("improvement_gb", config.improvement_gb)):
+        if imp.model in ("rf", "gb"):
+            grid = imp.resolved_grid()
+            if "splitter" not in grid:
+                imp = replace(
+                    imp, param_grid={**grid, "splitter": [splitter]}
+                )
+        improvements[label] = imp
+    return replace(
+        config,
+        fra=fra,
+        shap=shap,
+        rf_importance_params=_params_with_splitter(
+            config.rf_importance_params, splitter
+        ),
+        **improvements,
+    )
 
 
 @dataclass
@@ -443,7 +514,9 @@ def _preflight(raw: RawDataset, config: ExperimentConfig,
 
 
 def _scenario_task(item: tuple, config: ExperimentConfig,
-                   checkpoint: RunCheckpoint | None = None
+                   checkpoint: RunCheckpoint | None = None,
+                   cache: CacheStore | None = None,
+                   task_keys: dict | None = None
                    ) -> tuple[str, ScenarioArtifacts,
                               ScenarioImprovement,
                               ScenarioImprovement | None]:
@@ -453,10 +526,18 @@ def _scenario_task(item: tuple, config: ExperimentConfig,
     spans/metrics flow into whatever tracer/registry is current, which
     under :class:`~repro.parallel.ParallelMap`'s process backend is a
     worker-local pair that gets merged back into the parent run.
+
+    ``cache`` is the run's :class:`~repro.cache.CacheStore`, re-installed
+    here because context variables do not cross process boundaries: the
+    deep single-fit call sites (FRA consensus, horizons RF, SHAP GB)
+    reach it through :func:`repro.cache.current_cache`.  ``task_keys``
+    maps scenario key → content address for the whole task result; the
+    parent already served cache hits, so this side only stores.
     """
     key, scenario = item
     slog = get_logger("pipeline").bind(scenario=key)
-    with span("pipeline.scenario", scenario=key):
+    cache_scope = use_cache(cache) if cache is not None else nullcontext()
+    with cache_scope, span("pipeline.scenario", scenario=key):
         slog.info("selection.start", candidates=scenario.n_features)
         selection = select_final_features(
             scenario.X, scenario.y, scenario.feature_names,
@@ -489,6 +570,8 @@ def _scenario_task(item: tuple, config: ExperimentConfig,
         # Written worker-side so a mid-run kill preserves every scenario
         # that finished, not just the ones the parent got to collect.
         checkpoint.save_scenario(key, result)
+    if cache is not None and task_keys is not None and key in task_keys:
+        cache.put(task_keys[key], result)
     return result
 
 
@@ -497,7 +580,8 @@ def run_experiment(config: ExperimentConfig | None = None,
                    tracer: Tracer | None = None,
                    metrics: MetricsRegistry | None = None,
                    checkpoint_dir: str | None = None,
-                   resume: bool = False
+                   resume: bool = False,
+                   cache_dir: str | None = None
                    ) -> ExperimentResults:
     """Execute the full study; see the module docstring for the stages.
 
@@ -523,8 +607,23 @@ def run_experiment(config: ExperimentConfig | None = None,
     * ``checkpoint_dir`` persists each finished scenario atomically;
       ``resume=True`` skips scenarios already checkpointed by a
       previous (possibly killed) run with the same config.
+
+    ``cache_dir`` (CLI: ``repro run --cache-dir``) enables the
+    content-addressed artifact cache (:mod:`repro.cache`): the raw
+    dataset, the engineered scenario frames, each scenario's full task
+    result and the deep single-model fits are memoised on disk, keyed by
+    sha256 digests of everything that determines them — config
+    fingerprints (fault plans and degradation policies included, so
+    chaos runs never alias clean runs) and raw data bytes.  A warm
+    re-run of the same config short-circuits to cache reads;
+    ``cache.hits`` / ``cache.misses`` counters land in the run summary.
     """
     config = config if config is not None else ExperimentConfig.default()
+    if config.splitter not in _SPLITTERS:
+        raise ValueError(
+            f"splitter must be one of {_SPLITTERS}, got {config.splitter!r}"
+        )
+    config = _apply_splitter(config)
     if config.on_error not in ("raise", "capture"):
         raise ValueError(
             f"on_error must be 'raise' or 'capture', got {config.on_error!r}"
@@ -543,10 +642,22 @@ def run_experiment(config: ExperimentConfig | None = None,
         configure_logging(level="info")
     log = get_logger("pipeline")
     jobs = resolve_n_jobs(config.n_jobs)
+    store = CacheStore(cache_dir) if cache_dir is not None else None
+    cache_scope = use_cache(store) if store is not None else nullcontext()
 
-    with use_tracer(tracer), use_metrics(metrics), \
+    with use_tracer(tracer), use_metrics(metrics), cache_scope, \
             tracer.span("experiment.run"):
         degradation_report: DegradationReport | None = None
+        if raw is None:
+            dkey = None
+            if store is not None:
+                dkey = dataset_key(config.simulation, config.fault_plan,
+                                   config.degradation)
+                cached = store.get(dkey)
+                if cached is not None:
+                    raw, degradation_report = cached
+                    log.info("dataset.cached",
+                             seed=config.simulation.seed)
         if raw is None:
             resilient = (config.fault_plan is not None
                          or config.degradation != "abort")
@@ -561,29 +672,49 @@ def run_experiment(config: ExperimentConfig | None = None,
                 )
             else:
                 raw = generate_raw_dataset(config.simulation)
+            if store is not None:
+                store.put(dkey, (raw, degradation_report))
 
         if config.validate_inputs:
             _preflight(raw, config, log, metrics)
+
+        # The digest ties every downstream cache entry to the actual
+        # input bytes, covering callers that pass their own ``raw``.
+        dataset_digest = (frame_digest(raw.features)
+                          if store is not None else None)
 
         log.info("scenarios.build", periods=",".join(config.periods),
                  windows=",".join(str(w) for w in config.windows),
                  jobs=jobs)
         with tracer.span("pipeline.scenarios"):
-            scenarios = build_all_scenarios(
-                raw, periods=config.periods, windows=config.windows
-            )
+            scenarios = None
+            skey = None
+            if store is not None:
+                skey = scenarios_key(dataset_digest, config.periods,
+                                     config.windows)
+                scenarios = store.get(skey)
+            if scenarios is None:
+                scenarios = build_all_scenarios(
+                    raw, periods=config.periods, windows=config.windows
+                )
+                if store is not None:
+                    store.put(skey, scenarios)
         metrics.gauge("experiment.scenarios").set(len(scenarios))
+
+        fingerprint = None
+        if checkpoint_dir is not None or store is not None:
+            # n_jobs / verbose can't change results (determinism
+            # contract), so they don't participate in the fingerprint:
+            # a run killed at --jobs 4 may resume at --jobs 1, and a
+            # serial run may reuse a parallel run's cache entries.
+            fingerprint = config_fingerprint(
+                replace(config, n_jobs=None, verbose=False)
+            )
 
         checkpoint: RunCheckpoint | None = None
         resumed: dict[str, tuple] = {}
         if checkpoint_dir is not None:
             checkpoint = RunCheckpoint(checkpoint_dir)
-            # n_jobs / verbose can't change results (determinism
-            # contract), so they don't participate in the fingerprint:
-            # a run killed at --jobs 4 may resume at --jobs 1.
-            fingerprint = config_fingerprint(
-                replace(config, n_jobs=None, verbose=False)
-            )
             checkpoint.initialise(
                 fingerprint, resume=resume,
                 info={"scenarios": sorted(scenarios)},
@@ -597,12 +728,38 @@ def run_experiment(config: ExperimentConfig | None = None,
                          skipped=len(done),
                          remaining=len(scenarios) - len(done))
 
+        task_keys: dict[str, str] = {}
+        if store is not None:
+            task_keys = {
+                key: task_key(fingerprint, dataset_digest, key)
+                for key in scenarios
+            }
+            cached_hits = 0
+            for key in scenarios:
+                if key in resumed:
+                    continue
+                hit = store.get(task_keys[key])
+                if hit is not None:
+                    resumed[key] = hit
+                    cached_hits += 1
+            if cached_hits:
+                metrics.counter("experiment.scenarios_cached").inc(
+                    cached_hits
+                )
+                log.info("scenario.cached", hits=cached_hits,
+                         remaining=len(scenarios) - len(resumed))
+
         items = [
             (key, scenario) for key, scenario in scenarios.items()
             if key not in resumed
         ]
+        # The cache kwargs ride along only when a store is active, so
+        # cacheless runs call the task with its historical signature.
+        task_kwargs = {"config": config, "checkpoint": checkpoint}
+        if store is not None:
+            task_kwargs.update(cache=store, task_keys=task_keys)
         outcomes = ParallelMap(jobs).map(
-            partial(_scenario_task, config=config, checkpoint=checkpoint),
+            partial(_scenario_task, **task_kwargs),
             items,
             return_exceptions=(config.on_error == "capture"),
         )

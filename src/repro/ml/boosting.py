@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tree import DecisionTreeRegressor
+from ..obs import span
+from .tree import DecisionTreeRegressor, bin_features
 
 __all__ = ["GradientBoostingRegressor"]
 
@@ -43,6 +44,11 @@ class GradientBoostingRegressor:
         disables stochastic boosting.
     reg_lambda:
         XGBoost-style L2 leaf regularisation.
+    splitter:
+        Split-finding kernel for the stage trees: ``"exact"`` (default)
+        or ``"hist"``. ``X`` is constant across stages, so hist mode
+        bins the features once per ``fit`` and every stage reuses the
+        codes (subsampled stages gather their rows' codes).
     random_state:
         Seed for subsampling and per-node feature draws.
     """
@@ -57,6 +63,7 @@ class GradientBoostingRegressor:
         max_features=None,
         subsample: float = 1.0,
         reg_lambda: float = 1.0,
+        splitter: str = "exact",
         random_state=None,
     ):
         if n_estimators < 1:
@@ -73,6 +80,7 @@ class GradientBoostingRegressor:
         self.max_features = max_features
         self.subsample = subsample
         self.reg_lambda = reg_lambda
+        self.splitter = splitter
         self.random_state = random_state
         self.estimators_: list[DecisionTreeRegressor] = []
         self.base_prediction_: float | None = None
@@ -91,6 +99,7 @@ class GradientBoostingRegressor:
             "max_features": self.max_features,
             "subsample": self.subsample,
             "reg_lambda": self.reg_lambda,
+            "splitter": self.splitter,
             "random_state": self.random_state,
         }
 
@@ -122,25 +131,32 @@ class GradientBoostingRegressor:
         self.estimators_ = []
         self.train_losses_ = []
 
-        sample_size = max(1, int(round(self.subsample * n_samples)))
-        for _ in range(self.n_estimators):
-            residual = y - current
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                reg_lambda=self.reg_lambda,
-                random_state=rng.integers(0, 2**32 - 1),
-            )
-            if sample_size < n_samples:
-                rows = rng.choice(n_samples, size=sample_size, replace=False)
-                tree.fit(X[rows], residual[rows])
-            else:
-                tree.fit(X, residual)
-            current += self.learning_rate * tree.tree_.predict(X)
-            self.estimators_.append(tree)
-            self.train_losses_.append(float(np.mean((y - current) ** 2)))
+        with span("ml.gb_fit", splitter=self.splitter,
+                  n_estimators=self.n_estimators):
+            bins = bin_features(X) if self.splitter == "hist" else None
+            sample_size = max(1, int(round(self.subsample * n_samples)))
+            for _ in range(self.n_estimators):
+                residual = y - current
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_split=self.min_samples_split,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=self.max_features,
+                    reg_lambda=self.reg_lambda,
+                    splitter=self.splitter,
+                    random_state=rng.integers(0, 2**32 - 1),
+                )
+                if sample_size < n_samples:
+                    rows = rng.choice(
+                        n_samples, size=sample_size, replace=False)
+                    tree.fit(
+                        X[rows], residual[rows],
+                        bins=bins.take(rows) if bins is not None else None)
+                else:
+                    tree.fit(X, residual, bins=bins)
+                current += self.learning_rate * tree.tree_.predict(X)
+                self.estimators_.append(tree)
+                self.train_losses_.append(float(np.mean((y - current) ** 2)))
         return self
 
     def predict(self, X) -> np.ndarray:

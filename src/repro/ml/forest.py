@@ -17,14 +17,20 @@ from functools import partial
 
 import numpy as np
 
+from ..obs import span
 from ..parallel import ParallelMap, spawn_seeds
-from .tree import DecisionTreeRegressor
+from .tree import DecisionTreeRegressor, bin_features
 
 __all__ = ["RandomForestRegressor"]
 
 
-def _fit_tree(seed, X, y, tree_params, bootstrap):
-    """Fit one tree from its own seed sequence (a pure work unit)."""
+def _fit_tree(seed, X, y, tree_params, bootstrap, bins=None):
+    """Fit one tree from its own seed sequence (a pure work unit).
+
+    ``bins`` is the forest-shared :class:`~repro.ml.tree.FeatureBins`
+    for ``splitter="hist"``: the quantile pass runs once per forest and
+    each bootstrap draw just gathers its rows' codes.
+    """
     rng = np.random.default_rng(seed)
     tree = DecisionTreeRegressor(
         random_state=int(rng.integers(0, 2**32 - 1)), **tree_params
@@ -32,8 +38,11 @@ def _fit_tree(seed, X, y, tree_params, bootstrap):
     if bootstrap:
         n_samples = X.shape[0]
         sample = rng.integers(0, n_samples, size=n_samples)
-        return tree.fit(X[sample], y[sample])
-    return tree.fit(X, y)
+        return tree.fit(
+            X[sample], y[sample],
+            bins=bins.take(sample) if bins is not None else None,
+        )
+    return tree.fit(X, y, bins=bins)
 
 
 class RandomForestRegressor:
@@ -50,6 +59,10 @@ class RandomForestRegressor:
         default; ``"sqrt"`` gives classic decorrelated forests.
     bootstrap:
         Draw each tree's training set with replacement (size ``n``).
+    splitter:
+        Split-finding kernel for every tree: ``"exact"`` (default) or
+        ``"hist"`` (quantile-binned histogram splits; features are
+        binned once per forest and the codes shared across trees).
     random_state:
         Seed controlling bootstrap draws and per-node feature subsets.
         Results do not depend on ``n_jobs``.
@@ -68,6 +81,7 @@ class RandomForestRegressor:
         max_features=1.0,
         min_impurity_decrease: float = 0.0,
         bootstrap: bool = True,
+        splitter: str = "exact",
         random_state=None,
         n_jobs: int | None = 1,
     ):
@@ -80,6 +94,7 @@ class RandomForestRegressor:
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
         self.bootstrap = bootstrap
+        self.splitter = splitter
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.estimators_: list[DecisionTreeRegressor] = []
@@ -96,6 +111,7 @@ class RandomForestRegressor:
             "max_features": self.max_features,
             "min_impurity_decrease": self.min_impurity_decrease,
             "bootstrap": self.bootstrap,
+            "splitter": self.splitter,
             "random_state": self.random_state,
             "n_jobs": self.n_jobs,
         }
@@ -124,11 +140,15 @@ class RandomForestRegressor:
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
             "min_impurity_decrease": self.min_impurity_decrease,
+            "splitter": self.splitter,
         }
-        seeds = spawn_seeds(self.random_state, self.n_estimators)
-        fit_one = partial(_fit_tree, X=X, y=y, tree_params=tree_params,
-                          bootstrap=self.bootstrap)
-        self.estimators_ = ParallelMap(self.n_jobs).map(fit_one, seeds)
+        with span("ml.forest_fit", splitter=self.splitter,
+                  n_estimators=self.n_estimators):
+            bins = bin_features(X) if self.splitter == "hist" else None
+            seeds = spawn_seeds(self.random_state, self.n_estimators)
+            fit_one = partial(_fit_tree, X=X, y=y, tree_params=tree_params,
+                              bootstrap=self.bootstrap, bins=bins)
+            self.estimators_ = ParallelMap(self.n_jobs).map(fit_one, seeds)
         return self
 
     def predict(self, X) -> np.ndarray:

@@ -84,9 +84,9 @@ def _feature_pfi(item, estimator, X, y, baseline, scoring):
     j, perms = item
     n_repeats, n_samples = perms.shape
     stacked = np.tile(X, (n_repeats, 1))
-    column = X[:, j]
-    for r in range(n_repeats):
-        stacked[r * n_samples:(r + 1) * n_samples, j] = column[perms[r]]
+    # One gather fills the permuted column for every repeat at once:
+    # X[:, j][perms] is (n_repeats, n_samples) laid out in repeat order.
+    stacked[:, j] = X[:, j][perms].ravel()
     predictions = estimator.predict(stacked)
     deltas = np.empty(n_repeats)
     for r in range(n_repeats):

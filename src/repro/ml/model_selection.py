@@ -205,6 +205,16 @@ class GridSearchCV:
                  n_jobs: int | None = 1):
         self.estimator = estimator
         self.param_grid = ParameterGrid(param_grid)
+        # Fail fast on names the template does not accept: a misspelled
+        # axis (e.g. "spliter") would otherwise only surface as a
+        # set_params error deep inside a worker's fit cell.
+        if hasattr(estimator, "get_params"):
+            unknown = set(self.param_grid.grid) - set(estimator.get_params())
+            if unknown:
+                raise ValueError(
+                    "param_grid names not accepted by "
+                    f"{type(estimator).__name__}: {sorted(unknown)}"
+                )
         self.cv = cv if cv is not None else KFold(5)
         self.scoring = scoring
         self.refit = refit

@@ -42,18 +42,20 @@ _LEAF = -1
 
 
 def _tree_expected_value(tree: TreeStructure) -> float:
-    """Cover-weighted mean leaf value (prediction for 'no features known')."""
-    def rec(node: int) -> float:
+    """Cover-weighted mean leaf value (prediction for 'no features known').
+
+    Children are always created after their parent, so a single reverse
+    pass over the node arrays folds leaf values upward — no recursion,
+    no Python depth limit on deep trees.
+    """
+    ev = tree.value.astype(np.float64).copy()
+    n = tree.n_node_samples
+    for node in range(tree.node_count - 1, -1, -1):
         left = tree.children_left[node]
-        if left == _LEAF:
-            return float(tree.value[node])
-        right = tree.children_right[node]
-        n = tree.n_node_samples[node]
-        return (
-            tree.n_node_samples[left] * rec(left)
-            + tree.n_node_samples[right] * rec(right)
-        ) / n
-    return rec(0)
+        if left != _LEAF:
+            right = tree.children_right[node]
+            ev[node] = (n[left] * ev[left] + n[right] * ev[right]) / n[node]
+    return float(ev[0])
 
 
 # ----------------------------------------------------------------------

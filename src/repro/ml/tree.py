@@ -1,4 +1,4 @@
-"""CART regression trees with a vectorised best-split search.
+"""CART regression trees with exact and histogram split-finding kernels.
 
 This is the foundation of the model substrate: both
 :class:`~repro.ml.forest.RandomForestRegressor` and
@@ -16,10 +16,28 @@ split gain for squared loss (unit hessians), which is how the boosting
 module obtains Newton-style regularised trees from the same code path.
 Leaf predictions are correspondingly ``G / (n + lambda)``.
 
-The per-node search is fully vectorised: all candidate features are sorted
-at once and every split position is scored with prefix sums, so growing a
-node costs ``O(n log n * n_features)`` numpy work with no Python-level
-loops over samples.
+Two split-finding kernels are available via ``splitter``:
+
+``"exact"`` (default)
+    Every distinct value boundary is a candidate. The per-node search is
+    fully vectorised: the node's feature block is gathered feature-major
+    (contiguous per-feature rows, no ``np.ix_`` row-scatter on the
+    sample-major matrix), all features are sorted at once and every
+    position is scored with prefix sums — ``O(n log n * f)`` per node.
+``"hist"``
+    LightGBM-style histogram splitting. Each feature is quantile-binned
+    once per ``fit`` (at most :data:`MAX_BINS` = 256 bins, ``uint8``
+    codes); nodes then score only bin boundaries from per-node
+    ``(sum, count)`` histograms accumulated with ``bincount`` —
+    ``O(n * f)`` per node, no sorting. When every feature is scored at
+    every node the sibling histogram is derived with the classic
+    parent-minus-child subtraction trick, so only the smaller child pays
+    for accumulation. Ensembles bin once per *ensemble* fit and share
+    the :class:`FeatureBins` across member trees.
+
+Both kernels grow the same :class:`TreeStructure`; ``"exact"`` output is
+bit-for-bit identical across kernels refactors and worker counts,
+``"hist"`` trades exactness of the split grid for asymptotics.
 """
 
 from __future__ import annotations
@@ -29,9 +47,127 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["DecisionTreeRegressor", "TreeStructure"]
+from ..obs import current_metrics
+
+__all__ = [
+    "MAX_BINS",
+    "DecisionTreeRegressor",
+    "FeatureBins",
+    "TreeStructure",
+    "bin_features",
+]
 
 _LEAF = -1
+
+#: Histogram-splitter resolution: at most this many bins per feature, so
+#: bin codes always fit in ``uint8``.
+MAX_BINS = 256
+
+_SPLITTERS = ("exact", "hist")
+
+
+@dataclass(frozen=True)
+class FeatureBins:
+    """Per-feature quantile binning of a feature matrix (``splitter="hist"``).
+
+    Attributes
+    ----------
+    codes:
+        ``(n_samples, n_features) uint8`` bin code of every value. A code
+        ``c`` means ``cuts[f][c - 1] < x <= cuts[f][c]`` (open-ended at
+        the extremes), so ``code <= b`` is exactly ``x <= cuts[f][b]``.
+    cuts:
+        One ascending array of cut values per feature (at most
+        ``MAX_BINS - 1`` cuts). Thresholds of fitted hist trees are
+        always cut values, so prediction on raw features routes training
+        rows exactly as the binned search did.
+    """
+
+    codes: np.ndarray
+    cuts: tuple
+
+    @property
+    def n_features(self) -> int:
+        """Number of binned feature columns."""
+        return int(self.codes.shape[1])
+
+    @property
+    def n_bins(self) -> int:
+        """Histogram width: one more than the longest cut array.
+
+        The level-wise kernel sizes its ``(slots, features, bins)``
+        arrays with this, so an adaptive (small) bin budget shrinks the
+        scoring pass proportionally instead of always paying for
+        :data:`MAX_BINS` columns.
+        """
+        return max(2, 1 + max((len(c) for c in self.cuts), default=1))
+
+    def take(self, rows: np.ndarray) -> "FeatureBins":
+        """Bins restricted to a row subset (shares the cut arrays).
+
+        Used by bootstrap ensembles: the expensive quantile pass runs
+        once on the full matrix and each tree gathers its sample's
+        codes.
+        """
+        return FeatureBins(codes=self.codes[rows], cuts=self.cuts)
+
+
+def default_max_bins(n_samples: int) -> int:
+    """Adaptive bin budget for a sample of ``n_samples`` rows.
+
+    The hist kernel's level-wise scoring pass costs ``O(slots × features
+    × bins)`` regardless of how many rows actually occupy the bins, so a
+    small sample with the full ``MAX_BINS`` resolution spends most of
+    its time on empty bins. An eighth of the rows (floored at 32, capped at
+    ``MAX_BINS``) keeps ~8 samples per bin — plenty of split
+    resolution — while shrinking the scoring arrays on small fits.
+    """
+    return int(min(MAX_BINS, max(32, n_samples // 8)))
+
+
+def bin_features(X, max_bins: int | None = None) -> FeatureBins:
+    """Quantile-bin every feature column of ``X`` into ``<= max_bins`` bins.
+
+    ``max_bins=None`` (the default) resolves to
+    :func:`default_max_bins` of the row count. Features with fewer than
+    ``max_bins`` distinct values get one bin per value (cuts at
+    midpoints — the hist search then sees exactly the candidate grid the
+    exact splitter would), denser features get quantile cuts so every
+    bin holds roughly the same number of samples.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    if max_bins is None:
+        max_bins = default_max_bins(X.shape[0])
+    if not 2 <= max_bins <= MAX_BINS:
+        raise ValueError(f"max_bins must be in [2, {MAX_BINS}]")
+    n_samples, n_features = X.shape
+    codes = np.empty((n_samples, n_features), dtype=np.uint8)
+    cuts: list[np.ndarray] = []
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    # Interpolation positions for linear quantiles on a sorted column
+    # (equivalent to np.quantile's default method, but one sort per
+    # feature instead of repeated selection passes).
+    pos = quantiles * (n_samples - 1)
+    lo = np.floor(pos).astype(np.int64)
+    hi = np.minimum(lo + 1, n_samples - 1)
+    frac = pos - lo
+    for f in range(n_features):
+        col_sorted = np.sort(X[:, f])
+        is_new = np.empty(n_samples, dtype=bool)
+        is_new[0] = True
+        np.greater(col_sorted[1:], col_sorted[:-1], out=is_new[1:])
+        if int(is_new.sum()) <= max_bins:
+            unique = col_sorted[is_new]
+            cut = 0.5 * (unique[:-1] + unique[1:])
+        else:
+            cut = np.unique(
+                col_sorted[lo] * (1.0 - frac) + col_sorted[hi] * frac
+            )
+        codes[:, f] = np.searchsorted(cut, X[:, f], side="left")
+        cuts.append(cut)
+    return FeatureBins(codes=codes, cuts=tuple(cuts))
 
 
 @dataclass
@@ -92,19 +228,29 @@ class TreeStructure:
         return self.value[leaf]
 
     def apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf node id reached by every row of ``X``."""
+        """Leaf node id reached by every row of ``X``.
+
+        Batched traversal with active-set compaction: rows that reach a
+        leaf drop out of the working set instead of being re-scanned
+        every level, so the per-level cost tracks the rows still in
+        flight (this is the path under forest prediction, PFI's stacked
+        predict and TreeSHAP's hot/cold routing).
+        """
         X = np.asarray(X, dtype=np.float64)
         nodes = np.zeros(X.shape[0], dtype=np.int64)
-        active = self.children_left[nodes] != _LEAF
-        while active.any():
-            cur = nodes[active]
-            go_left = (
-                X[active, self.feature[cur]] <= self.threshold[cur]
-            )
-            nodes[active] = np.where(
+        if self.node_count == 0 or self.children_left[0] == _LEAF:
+            return nodes
+        rows = np.arange(X.shape[0], dtype=np.int64)
+        cur = nodes[rows]
+        while rows.size:
+            go_left = X[rows, self.feature[cur]] <= self.threshold[cur]
+            cur = np.where(
                 go_left, self.children_left[cur], self.children_right[cur]
             )
-            active = self.children_left[nodes] != _LEAF
+            nodes[rows] = cur
+            active = self.children_left[cur] != _LEAF
+            rows = rows[active]
+            cur = cur[active]
         return nodes
 
     def mdi_importances(self, n_features: int) -> np.ndarray:
@@ -168,6 +314,10 @@ class DecisionTreeRegressor:
         Minimum per-sample SSE decrease required to accept a split.
     reg_lambda:
         L2 leaf regularisation (XGBoost's lambda). Zero recovers CART.
+    splitter:
+        ``"exact"`` (default) scores every value boundary; ``"hist"``
+        scores quantile-bin boundaries from per-node histograms (see the
+        module docstring for the complexity trade-off).
     random_state:
         Seed (or ``numpy.random.Generator``) for feature subsampling.
     """
@@ -180,6 +330,7 @@ class DecisionTreeRegressor:
         max_features=None,
         min_impurity_decrease: float = 0.0,
         reg_lambda: float = 0.0,
+        splitter: str = "exact",
         random_state=None,
     ):
         if max_depth is not None and max_depth < 0:
@@ -192,12 +343,17 @@ class DecisionTreeRegressor:
             raise ValueError("min_impurity_decrease must be >= 0")
         if reg_lambda < 0:
             raise ValueError("reg_lambda must be >= 0")
+        if splitter not in _SPLITTERS:
+            raise ValueError(
+                f"splitter must be one of {_SPLITTERS}, got {splitter!r}"
+            )
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
         self.reg_lambda = reg_lambda
+        self.splitter = splitter
         self.random_state = random_state
         self.tree_: TreeStructure | None = None
         self.n_features_in_: int | None = None
@@ -212,6 +368,7 @@ class DecisionTreeRegressor:
             "max_features": self.max_features,
             "min_impurity_decrease": self.min_impurity_decrease,
             "reg_lambda": self.reg_lambda,
+            "splitter": self.splitter,
             "random_state": self.random_state,
         }
 
@@ -224,8 +381,15 @@ class DecisionTreeRegressor:
         return self
 
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "DecisionTreeRegressor":
-        """Fit the estimator on (X, y); returns self."""
+    def fit(self, X, y, bins: FeatureBins | None = None
+            ) -> "DecisionTreeRegressor":
+        """Fit the estimator on (X, y); returns self.
+
+        ``bins`` (hist splitter only) short-circuits the per-fit
+        quantile binning with a precomputed :class:`FeatureBins` whose
+        rows match ``X`` — ensembles bin once and share it across
+        member trees.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2:
@@ -236,6 +400,16 @@ class DecisionTreeRegressor:
             raise ValueError("cannot fit on an empty dataset")
         if np.isnan(X).any() or np.isnan(y).any():
             raise ValueError("training data must be NaN-free")
+        if bins is not None:
+            if self.splitter != "hist":
+                raise ValueError(
+                    "precomputed bins require splitter='hist'"
+                )
+            if bins.codes.shape != X.shape:
+                raise ValueError(
+                    "bins shape does not match X "
+                    f"({bins.codes.shape} vs {X.shape})"
+                )
         n_samples, n_features = X.shape
         self.n_features_in_ = n_features
         rng = np.random.default_rng(self.random_state)
@@ -265,28 +439,65 @@ class DecisionTreeRegressor:
             impurity.append(float(np.mean((y_node - total / n) ** 2)))
             return node_id
 
-        # Depth-first growth with an explicit stack of (node_id, idx, depth).
+        def splittable(node_id: int, idx: np.ndarray, depth: int) -> bool:
+            n = idx.size
+            return not (
+                n < self.min_samples_split
+                or n < 2 * self.min_samples_leaf
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or impurity[node_id] == 0.0
+            )
+
+        def draw_feats() -> np.ndarray:
+            if k_features < n_features:
+                return rng.choice(n_features, size=k_features,
+                                  replace=False)
+            return np.arange(n_features)
+
+        if self.splitter == "hist":
+            current_metrics().counter("ml.tree_fit.hist").inc()
+            lists = (children_left, children_right, feature, threshold,
+                     value, n_node, impurity)
+            self._grow_hist(X, y, bins, lam, rng, k_features, lists)
+        else:
+            current_metrics().counter("ml.tree_fit.exact").inc()
+            nodes = (children_left, children_right, feature, threshold)
+            self._grow_exact(X, y, lam, new_node, splittable,
+                             draw_feats, nodes)
+
+        self.tree_ = TreeStructure(
+            children_left=np.asarray(children_left, dtype=np.int64),
+            children_right=np.asarray(children_right, dtype=np.int64),
+            feature=np.asarray(feature, dtype=np.int64),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            value=np.asarray(value, dtype=np.float64),
+            n_node_samples=np.asarray(n_node, dtype=np.int64),
+            impurity=np.asarray(impurity, dtype=np.float64),
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # exact kernel
+    # ------------------------------------------------------------------
+    def _grow_exact(self, X, y, lam, new_node, splittable, draw_feats,
+                    nodes) -> None:
+        """Depth-first growth with an explicit stack of (id, idx, depth)."""
+        children_left, children_right, feature, threshold = nodes
+        n_samples = X.shape[0]
+        # Feature-major copy: per-node gathers read contiguous
+        # per-feature rows instead of scattering across the sample-major
+        # layout (same values, so fitted trees are bit-identical).
+        XT = np.ascontiguousarray(X.T)
         root = new_node(np.arange(n_samples))
         stack: list[tuple[int, np.ndarray, int]] = [
             (root, np.arange(n_samples), 0)
         ]
         while stack:
             node_id, idx, depth = stack.pop()
-            n = idx.size
-            if (
-                n < self.min_samples_split
-                or n < 2 * self.min_samples_leaf
-                or (self.max_depth is not None and depth >= self.max_depth)
-                or impurity[node_id] == 0.0
-            ):
+            if not splittable(node_id, idx, depth):
                 continue
-
-            if k_features < n_features:
-                feats = rng.choice(n_features, size=k_features, replace=False)
-            else:
-                feats = np.arange(n_features)
-
-            best = self._best_split(X, y, idx, feats, lam)
+            feats = draw_feats()
+            best = self._best_split(XT, y, idx, feats, lam)
             if best is None:
                 continue
             gain, feat, thr, left_mask = best
@@ -304,66 +515,319 @@ class DecisionTreeRegressor:
             stack.append((left_id, left_idx, depth + 1))
             stack.append((right_id, right_idx, depth + 1))
 
-        self.tree_ = TreeStructure(
-            children_left=np.asarray(children_left, dtype=np.int64),
-            children_right=np.asarray(children_right, dtype=np.int64),
-            feature=np.asarray(feature, dtype=np.int64),
-            threshold=np.asarray(threshold, dtype=np.float64),
-            value=np.asarray(value, dtype=np.float64),
-            n_node_samples=np.asarray(n_node, dtype=np.int64),
-            impurity=np.asarray(impurity, dtype=np.float64),
-        )
-        return self
-
-    def _best_split(self, X, y, idx, feats, lam):
+    def _best_split(self, XT, y, idx, feats, lam):
         """Vectorised search over all (feature, position) candidates.
 
-        Returns ``(gain, feature, threshold, left_mask)`` for the best
-        valid split, or ``None`` when no candidate satisfies the
-        ``min_samples_leaf`` and strict-ordering constraints.
+        ``XT`` is the feature-major (transposed, C-contiguous) training
+        matrix. Returns ``(gain, feature, threshold, left_mask)`` for
+        the best valid split, or ``None`` when no candidate satisfies
+        the ``min_samples_leaf`` and strict-ordering constraints.
         """
         n = idx.size
-        Xs = X[np.ix_(idx, feats)]                     # (n, f)
-        order = np.argsort(Xs, axis=0, kind="stable")  # (n, f)
-        sorted_x = np.take_along_axis(Xs, order, axis=0)
-        sorted_y = y[idx][order]                       # (n, f)
+        Xs = XT[np.ix_(feats, idx)]                    # (f, n)
+        order = np.argsort(Xs, axis=1, kind="stable")  # (f, n)
+        sorted_x = np.take_along_axis(Xs, order, axis=1)
+        sorted_y = y[idx][order]                       # (f, n)
 
-        cum = np.cumsum(sorted_y, axis=0)              # prefix target sums
-        total = cum[-1, :]                             # (f,)
+        cum = np.cumsum(sorted_y, axis=1)              # prefix target sums
+        total = cum[:, -1]                             # (f,)
 
         # Candidate split after position i: left = [0..i], right = [i+1..].
-        counts_left = np.arange(1, n, dtype=np.float64)[:, None]
+        counts_left = np.arange(1, n, dtype=np.float64)[None, :]
         counts_right = n - counts_left
-        sum_left = cum[:-1, :]
-        sum_right = total[None, :] - sum_left
+        sum_left = cum[:, :-1]
+        sum_right = total[:, None] - sum_left
 
         with np.errstate(divide="ignore", invalid="ignore"):
             gain = (
                 sum_left**2 / (counts_left + lam)
                 + sum_right**2 / (counts_right + lam)
-                - total[None, :] ** 2 / (n + lam)
+                - total[:, None] ** 2 / (n + lam)
             )
 
         # Invalid where equal adjacent values (can't separate) or leaf-size
         # constraints would be violated.
-        valid = sorted_x[:-1, :] < sorted_x[1:, :]
+        valid = sorted_x[:, :-1] < sorted_x[:, 1:]
         msl = self.min_samples_leaf
         if msl > 1:
-            pos = np.arange(1, n)[:, None]
+            pos = np.arange(1, n)[None, :]
             valid &= (pos >= msl) & ((n - pos) >= msl)
+        if not valid.any():
+            # Degenerate node (e.g. every candidate feature constant):
+            # the whole gain matrix is -inf. Bail out explicitly rather
+            # than relying on argmax: argmax over an all--inf array
+            # returns index 0, which was only ever safe because the
+            # finite-gain check below rejected it.
+            return None
         gain = np.where(valid, gain, -np.inf)
 
-        flat = int(np.argmax(gain))
-        best_gain = gain.ravel()[flat]
+        # Scan the transposed view so ties break in (position, feature)
+        # order — the same flat order the sample-major layout used, which
+        # keeps exact-mode trees bit-identical across kernel refactors.
+        flat = int(np.argmax(gain.T))
+        row, col = np.unravel_index(flat, (n - 1, len(feats)))
+        best_gain = gain[col, row]
         if not np.isfinite(best_gain) or best_gain <= 0.0:
             return None
-        row, col = np.unravel_index(flat, gain.shape)
-        thr = 0.5 * (sorted_x[row, col] + sorted_x[row + 1, col])
+        thr = 0.5 * (sorted_x[col, row] + sorted_x[col, row + 1])
         # Guard against midpoint rounding onto the upper value.
-        if thr >= sorted_x[row + 1, col]:
-            thr = sorted_x[row, col]
-        left_mask = Xs[:, col] <= thr
+        if thr >= sorted_x[col, row + 1]:
+            thr = sorted_x[col, row]
+        left_mask = Xs[col, :] <= thr
         return float(best_gain), int(feats[col]), float(thr), left_mask
+
+    # ------------------------------------------------------------------
+    # histogram kernel
+    # ------------------------------------------------------------------
+    # Above this many histogram cells per level the full-feature path
+    # stops carrying parent histograms (subtraction trick off) and falls
+    # back to direct accumulation, bounding peak memory at ~100 MB.
+    _HIST_CELL_CAP = 4_000_000
+
+    def _grow_hist(self, X, y, bins, lam, rng, k_features, lists) -> None:
+        """Level-wise histogram growth.
+
+        All nodes of a depth level are scored together: one ``bincount``
+        keyed by ``(node-slot, feature, bin)`` accumulates every node's
+        histograms at once and one vectorised pass over the resulting
+        ``(slots, features, bins)`` arrays scores every candidate split.
+        Per-level cost is ``O(n * k)`` accumulation plus
+        ``O(slots * k * bins)`` scoring, with a *constant* number of
+        numpy calls per level — per-node python overhead, which
+        dominates deep trees of small nodes, disappears entirely.
+
+        In full-feature mode successive levels reuse parent histograms:
+        only each split's *smaller* child is accumulated and the sibling
+        is derived by the parent-minus-child subtraction (capped by
+        :data:`_HIST_CELL_CAP`; beyond it the level accumulates
+        directly). With per-node feature subsampling the scored subset
+        differs node to node, so every level accumulates its own subset
+        histograms.
+        """
+        (children_left, children_right, feature, threshold,
+         value, n_node, impurity) = lists
+        n_samples, n_features = X.shape
+        if bins is None:
+            bins = bin_features(X)
+        codes = bins.codes
+        cuts = bins.cuts
+        y2 = y * y
+        msl = self.min_samples_leaf
+        mss = self.min_samples_split
+        full = k_features == n_features
+        B = bins.n_bins
+
+        def add_node(s: float, sq: float, c: int) -> int:
+            node_id = len(value)
+            children_left.append(_LEAF)
+            children_right.append(_LEAF)
+            feature.append(_LEAF)
+            threshold.append(np.nan)
+            value.append(s / (c + lam))
+            n_node.append(int(c))
+            mean = s / c
+            impurity.append(max(sq / c - mean * mean, 0.0))
+            return node_id
+
+        root_sum = float(y.sum())
+        root = add_node(root_sum, float(y2.sum()), n_samples)
+        if (
+            n_samples < mss
+            or n_samples < 2 * msl
+            or self.max_depth == 0
+            or impurity[root] == 0.0
+        ):
+            return
+
+        if full:
+            # Flattened (feature, bin) keys; a slot offset is added per
+            # level so one bincount covers every active node.
+            codes_off = codes.astype(np.int64)
+            codes_off += np.arange(n_features, dtype=np.int64)[None, :] * B
+
+        # Active level state: node ids, per-slot totals, and the row ->
+        # slot assignment for every training row still inside an active
+        # node. ``hist`` carries (sums, counts) parent histograms for
+        # the subtraction trick (full mode only).
+        node_ids = np.array([root], dtype=np.int64)
+        tot_n = np.array([n_samples], dtype=np.int64)
+        tot_s = np.array([root_sum], dtype=np.float64)
+        rows = np.arange(n_samples, dtype=np.int64)
+        slot = np.zeros(n_samples, dtype=np.int64)
+        hist = None
+        depth = 0
+
+        while node_ids.size:
+            S = node_ids.size
+            if full:
+                if hist is None:
+                    key = (slot[:, None] * (n_features * B)
+                           + codes_off[rows])
+                    flat = key.ravel()
+                    length = S * n_features * B
+                    cnt = np.bincount(flat, minlength=length)
+                    sm = np.bincount(
+                        flat, weights=np.repeat(y[rows], n_features),
+                        minlength=length)
+                    hist = (sm.reshape(S, n_features, B),
+                            cnt.reshape(S, n_features, B))
+                hist_s, hist_c = hist
+                feats_mat = None
+                k = n_features
+            else:
+                k = k_features
+                # One uniform k-subset per slot: argsort of random keys
+                # is a batch draw-without-replacement.
+                feats_mat = np.argsort(
+                    rng.random((S, n_features)), axis=1)[:, :k]
+                sub = codes[rows[:, None], feats_mat[slot]]
+                key = (slot[:, None] * k
+                       + np.arange(k, dtype=np.int64)[None, :]) * B + sub
+                flat = key.ravel()
+                length = S * k * B
+                cnt = np.bincount(flat, minlength=length)
+                sm = np.bincount(flat, weights=np.repeat(y[rows], k),
+                                 minlength=length)
+                hist_s = sm.reshape(S, k, B)
+                hist_c = cnt.reshape(S, k, B)
+
+            # Score every (slot, feature, bin) candidate at once. A
+            # split at bin b sends codes <= b left, i.e. x <= cuts[b].
+            cum_s = np.cumsum(hist_s, axis=2)[:, :, : B - 1]
+            cum_c = np.cumsum(hist_c, axis=2)[:, :, : B - 1]
+            nl = cum_c.astype(np.float64)
+            nr = tot_n[:, None, None] - nl
+            rs = tot_s[:, None, None] - cum_s
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = (
+                    cum_s**2 / (nl + lam)
+                    + rs**2 / (nr + lam)
+                    - (tot_s**2 / (tot_n + lam))[:, None, None]
+                )
+            valid = (cum_c >= msl) & (tot_n[:, None, None] - cum_c >= msl)
+            gain = np.where(valid, gain, -np.inf)
+
+            gain2 = gain.reshape(S, k * (B - 1))
+            best = np.argmax(gain2, axis=1)
+            best_gain = gain2[np.arange(S), best]
+            ok = (
+                np.isfinite(best_gain)
+                & (best_gain > 0.0)
+                & (best_gain / n_samples >= self.min_impurity_decrease)
+            )
+            if not ok.any():
+                break
+            best_j, best_b = np.divmod(best, B - 1)
+            if full:
+                best_f = best_j
+            else:
+                best_f = feats_mat[np.arange(S), best_j]
+
+            # Partition rows of splitting slots into 2 children each.
+            ok_slots = np.flatnonzero(ok)
+            P = ok_slots.size
+            split_rank = np.cumsum(ok) - 1          # slot -> split index
+            keep = ok[slot]
+            rows_ok = rows[keep]
+            slot_ok = slot[keep]
+            go_left = codes[rows_ok, best_f[slot_ok]] <= best_b[slot_ok]
+            child = 2 * split_rank[slot_ok] + (~go_left)
+
+            c_n = np.bincount(child, minlength=2 * P)
+            c_s = np.bincount(child, weights=y[rows_ok], minlength=2 * P)
+            c_q = np.bincount(child, weights=y2[rows_ok], minlength=2 * P)
+
+            # Append the whole level's children in bulk (the per-node
+            # ``add_node`` path costs a python call per node, which at
+            # thousands of nodes per fit is measurable).
+            first_child = len(value)
+            c_mean = c_s / c_n
+            c_imp = np.maximum(c_q / c_n - c_mean * c_mean, 0.0)
+            children_left.extend([_LEAF] * (2 * P))
+            children_right.extend([_LEAF] * (2 * P))
+            feature.extend([_LEAF] * (2 * P))
+            threshold.extend([np.nan] * (2 * P))
+            value.extend((c_s / (c_n + lam)).tolist())
+            n_node.extend(c_n.tolist())
+            impurity.extend(c_imp.tolist())
+            for i, s_idx in enumerate(ok_slots):
+                parent = node_ids[s_idx]
+                children_left[parent] = first_child + 2 * i
+                children_right[parent] = first_child + 2 * i + 1
+                f = int(best_f[s_idx])
+                feature[parent] = f
+                threshold[parent] = float(cuts[f][best_b[s_idx]])
+
+            # Next level's active set: children that can still split.
+            depth += 1
+            act = (c_n >= mss) & (c_n >= 2 * msl) & (c_imp > 0.0)
+            if self.max_depth is not None and depth >= self.max_depth:
+                act[:] = False
+            if not act.any():
+                break
+            act_children = np.flatnonzero(act)
+            new_slot = np.cumsum(act) - 1           # child -> new slot
+
+            if full:
+                hist = self._derive_child_hists(
+                    hist_s, hist_c, codes_off, y, rows_ok, child,
+                    ok_slots, act, act_children, c_n)
+
+            keep_rows = act[child]
+            rows = rows_ok[keep_rows]
+            slot = new_slot[child[keep_rows]]
+            node_ids = (first_child
+                        + np.arange(2 * P, dtype=np.int64))[act]
+            tot_n = c_n[act].astype(np.int64)
+            tot_s = c_s[act]
+
+    def _derive_child_hists(self, hist_s, hist_c, codes_off, y, rows_ok,
+                            child, ok_slots, act, act_children, c_n):
+        """Parent-minus-child histograms for the next level (full mode).
+
+        For every split with at least one splittable child, only the
+        *smaller* child's histogram is accumulated; an active sibling is
+        derived as ``parent - smaller``. Returns ``(sums, counts)``
+        aligned to the next level's slots, or ``None`` when the level
+        would exceed :data:`_HIST_CELL_CAP` (the caller then accumulates
+        directly, trading the trick for bounded memory).
+        """
+        F, B = hist_s.shape[1], hist_s.shape[2]
+        n_features_b = F * B
+        P = ok_slots.size
+        fam_act = act[0::2] | act[1::2]
+        small_child = 2 * np.arange(P) + (c_n[0::2] > c_n[1::2])
+        acc_children = small_child[fam_act]
+        n_acc = acc_children.size
+        S_next = act_children.size
+        if (S_next + n_acc) * n_features_b > self._HIST_CELL_CAP:
+            return None
+
+        acc_map = np.full(2 * P, -1, dtype=np.int64)
+        acc_map[acc_children] = np.arange(n_acc)
+
+        mask = acc_map[child] >= 0
+        r_acc = rows_ok[mask]
+        key = (acc_map[child[mask]][:, None] * n_features_b
+               + codes_off[r_acc])
+        flat = key.ravel()
+        length = n_acc * n_features_b
+        acc_c = np.bincount(flat, minlength=length).reshape(n_acc, F, B)
+        acc_s = np.bincount(flat, weights=np.repeat(y[r_acc], F),
+                            minlength=length).reshape(n_acc, F, B)
+
+        own = acc_map[act_children]
+        sib = acc_map[act_children ^ 1]
+        parent_slot = ok_slots[act_children >> 1]
+        is_acc = own >= 0
+        new_s = np.empty((S_next, F, B), dtype=np.float64)
+        new_c = np.empty((S_next, F, B), dtype=np.int64)
+        new_s[is_acc] = acc_s[own[is_acc]]
+        new_c[is_acc] = acc_c[own[is_acc]]
+        big = ~is_acc
+        new_s[big] = hist_s[parent_slot[big]] - acc_s[sib[big]]
+        new_c[big] = hist_c[parent_slot[big]] - acc_c[sib[big]]
+        return new_s, new_c
 
     # ------------------------------------------------------------------
     def predict(self, X) -> np.ndarray:

@@ -46,6 +46,7 @@ from .chaos import (
 from .checkpoint import (
     CheckpointMismatch,
     RunCheckpoint,
+    atomic_write_bytes,
     config_fingerprint,
 )
 from .degradation import (
@@ -73,6 +74,7 @@ from .source import (
 
 __all__ = [
     "CategoryDegradation",
+    "atomic_write_bytes",
     "ChaosReport",
     "CheckpointMismatch",
     "CircuitBreaker",

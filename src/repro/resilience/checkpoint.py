@@ -31,7 +31,12 @@ from pathlib import Path
 
 from ..obs import current_metrics, get_logger
 
-__all__ = ["CheckpointMismatch", "RunCheckpoint", "config_fingerprint"]
+__all__ = [
+    "CheckpointMismatch",
+    "RunCheckpoint",
+    "atomic_write_bytes",
+    "config_fingerprint",
+]
 
 _log = get_logger("resilience")
 
@@ -87,7 +92,7 @@ class RunCheckpoint:
                 for stale in self._artifact_paths():
                     stale.unlink()
             payload = {"fingerprint": fingerprint, "info": info or {}}
-            _atomic_write_bytes(
+            atomic_write_bytes(
                 manifest_path,
                 (json.dumps(payload, indent=2) + "\n").encode("utf-8"),
             )
@@ -132,7 +137,7 @@ class RunCheckpoint:
             {"key": key, "payload": payload},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        _atomic_write_bytes(path, blob)
+        atomic_write_bytes(path, blob)
         current_metrics().counter("checkpoint.saved").inc()
         _log.debug("checkpoint.saved", scenario=key,
                    bytes=len(blob), path=str(path))
@@ -157,8 +162,12 @@ class RunCheckpoint:
         return payload
 
 
-def _atomic_write_bytes(path: Path, blob: bytes) -> None:
-    """Write-then-rename so readers never observe a partial file."""
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Write-then-rename so readers never observe a partial file.
+
+    Shared by the checkpoint store and :mod:`repro.cache` — any on-disk
+    artifact in this package goes through this helper.
+    """
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name, suffix=".tmp"
     )

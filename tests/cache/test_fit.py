@@ -1,0 +1,88 @@
+"""Memoised fitting: hits must be bit-identical to refitting."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheStore, fit_cached, use_cache
+from repro.ml import GradientBoostingRegressor, RandomForestRegressor
+from repro.obs import MetricsRegistry, use_metrics
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(120, 5))
+    y = X[:, 0] - 2 * X[:, 1] + 0.1 * rng.normal(size=120)
+    return X, y
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CacheStore(tmp_path / "cache")
+
+
+class TestFitCached:
+    def test_no_store_is_plain_fit(self, data):
+        X, y = data
+        model = RandomForestRegressor(n_estimators=4, random_state=0)
+        fitted = fit_cached(model, X, y)
+        assert fitted is model
+        assert len(fitted.estimators_) == 4
+
+    def test_hit_bit_identical_to_refit(self, data, store):
+        X, y = data
+        def make():
+            return RandomForestRegressor(n_estimators=5, max_depth=6,
+                                         random_state=3)
+        with use_cache(store):
+            first = fit_cached(make(), X, y)
+            second = fit_cached(make(), X, y)
+        assert np.array_equal(first.predict(X), second.predict(X))
+        assert np.array_equal(first.feature_importances_,
+                              second.feature_importances_)
+
+    def test_hit_leaves_passed_instance_unfitted(self, data, store):
+        X, y = data
+        with use_cache(store):
+            fit_cached(GradientBoostingRegressor(n_estimators=4,
+                                                 random_state=0), X, y)
+            fresh = GradientBoostingRegressor(n_estimators=4,
+                                              random_state=0)
+            returned = fit_cached(fresh, X, y)
+        assert returned is not fresh
+
+    def test_counters_reflect_miss_then_hit(self, data, store):
+        X, y = data
+        registry = MetricsRegistry()
+        with use_metrics(registry), use_cache(store):
+            fit_cached(RandomForestRegressor(n_estimators=3,
+                                             random_state=0), X, y)
+            fit_cached(RandomForestRegressor(n_estimators=3,
+                                             random_state=0), X, y)
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        assert counters["cache.writes"] == 1
+
+    def test_different_params_do_not_collide(self, data, store):
+        X, y = data
+        with use_cache(store):
+            a = fit_cached(RandomForestRegressor(n_estimators=3,
+                                                 random_state=0), X, y)
+            b = fit_cached(RandomForestRegressor(n_estimators=6,
+                                                 random_state=0), X, y)
+        assert len(a.estimators_) == 3
+        assert len(b.estimators_) == 6
+
+    def test_corrupt_artifact_falls_back_to_refit(self, data, store):
+        from repro.cache.keys import model_fit_key
+
+        X, y = data
+        model = RandomForestRegressor(n_estimators=3, random_state=0)
+        key = model_fit_key(model, X, y)
+        store.put(key, {"not": "a model payload"})
+        with use_cache(store):
+            fitted = fit_cached(
+                RandomForestRegressor(n_estimators=3, random_state=0), X, y
+            )
+        assert len(fitted.estimators_) == 3

@@ -1,0 +1,81 @@
+"""Observability integration for the cache and the hist kernel.
+
+Drives the real CLI end-to-end on a trimmed config: ``run`` with the
+hist splitter, two worker processes and a cache directory, then
+``trace-summary`` over the emitted trace. The summary must surface the
+cache hit/miss counters and the histogram-kernel activity that happened
+*inside worker processes* — proof that worker-side registries merge back
+into the parent run.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import main
+from repro.core.pipeline import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def mini_config():
+    config = ExperimentConfig.fast()
+    return dataclasses.replace(
+        config,
+        simulation=dataclasses.replace(config.simulation,
+                                       end="2019-12-31"),
+        periods=("2017",),
+        windows=(7, 90),
+        run_gb_validation=False,
+        splitter="hist",
+    )
+
+
+@pytest.fixture(scope="module")
+def summary_output(tmp_path_factory, mini_config):
+    """stdout of trace-summary over a hist + cached + 2-worker run."""
+    base = tmp_path_factory.mktemp("cache-trace")
+    trace = base / "trace.jsonl"
+
+    import io
+    from contextlib import redirect_stdout
+
+    presets = dict(cli._PRESETS)
+    presets["fast"] = lambda seed=0: mini_config
+    original = cli._PRESETS
+    cli._PRESETS = presets
+    try:
+        with redirect_stdout(io.StringIO()):
+            code = main([
+                "run", "--preset", "fast", "--quiet",
+                "--jobs", "2",
+                "--splitter", "hist",
+                "--cache-dir", str(base / "cache"),
+                "--trace", str(trace),
+            ])
+    finally:
+        cli._PRESETS = original
+    assert code == 0
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(["trace-summary", str(trace)]) == 0
+    return buffer.getvalue()
+
+
+class TestTraceSummaryShowsCacheAndKernel:
+    def test_cache_counters_surface(self, summary_output):
+        assert "cache.misses" in summary_output
+        assert "cache.writes" in summary_output
+        assert "cache.bytes_written" in summary_output
+
+    def test_hist_kernel_counter_from_workers(self, summary_output):
+        # Every tree fit happened inside a worker process; the counter
+        # only appears if worker registries merged into the parent.
+        assert "ml.tree_fit.hist" in summary_output
+        assert "ml.tree_fit.exact" not in summary_output
+
+    def test_worker_spans_merged(self, summary_output):
+        assert "pipeline.scenario" in summary_output
+        assert "ml.forest_fit" in summary_output
+        assert "fra.reduce" in summary_output

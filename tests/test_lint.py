@@ -1,0 +1,51 @@
+"""The no-bare-print lint covers the whole library, cache included.
+
+``tools/check_no_print.py`` walks its roots recursively, so new
+packages are covered the moment they land — these tests pin that
+contract (a planted offender under a nested package is found, and the
+real tree is currently clean) so a layout change can't silently drop
+worker-side code such as ``repro.cache`` from the lint.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "check_no_print.py"
+
+
+def _run(*roots, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *map(str, roots)],
+        cwd=cwd, capture_output=True, text=True,
+    )
+
+
+class TestCheckNoPrint:
+    def test_library_tree_is_clean(self):
+        result = _run("src/repro", "src/repro/cache")
+        assert result.returncode == 0, result.stderr
+
+    def test_cache_package_is_inside_the_scanned_tree(self):
+        scanned = {
+            path.relative_to(REPO / "src" / "repro").as_posix()
+            for path in (REPO / "src" / "repro").rglob("*.py")
+        }
+        assert "cache/store.py" in scanned
+        assert "cache/fit.py" in scanned
+
+    def test_planted_offender_in_nested_package_is_caught(self, tmp_path):
+        nested = tmp_path / "lib" / "cache"
+        nested.mkdir(parents=True)
+        (nested / "store.py").write_text('print("leak")\n')
+        result = _run(tmp_path / "lib")
+        assert result.returncode == 1
+        assert "store.py:1" in result.stderr
+
+    def test_docstring_print_does_not_trip(self, tmp_path):
+        root = tmp_path / "lib"
+        root.mkdir()
+        (root / "mod.py").write_text('"""Docs mention print(x)."""\n')
+        result = _run(root)
+        assert result.returncode == 0, result.stderr
