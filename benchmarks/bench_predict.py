@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Wall-time benchmark for compiled vs interpreted ensemble inference.
+
+Measures the ``repro.ml.compiled`` flat-array predict kernel on the
+pipeline's prediction-bound hot paths at the bench-preset scale:
+
+* ``pfi_stage`` — :func:`repro.ml.importance.permutation_importance`
+  over the fast-preset forest and boosting shapes (the single hottest
+  predict consumer: features × repeats full-matrix predictions, batched
+  through ``predict_many`` on the compiled path);
+* ``improvement_scoring`` — the repeated fold-model scoring predicts the
+  improvement-evaluation stage issues (models fitted **outside** the
+  timers; only prediction work is timed);
+* ``large_batch`` — one big backtest-sized predict per estimator shape;
+* ``hist_binned`` — the compiled kernel's raw-threshold walk vs the
+  uint8 bin-code walk on a hist-splitter fit.
+
+Every stage asserts bit-identity between the two paths before timing
+anything, then reports best-of-``REPEATS`` wall times. The headline
+``pfi_plus_eval`` ratio (naive / compiled over the PFI + evaluation
+stages combined) is the acceptance number for the compiled kernel.
+
+Writes ``benchmarks/results/BENCH_predict.json``. Run directly —
+intentionally **not** a pytest module (wall-time ratios are host
+dependent)::
+
+    PYTHONPATH=src python benchmarks/bench_predict.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ml.boosting import GradientBoostingRegressor  # noqa: E402
+from repro.ml.compiled import compile_ensemble, use_predictor  # noqa: E402
+from repro.ml.forest import RandomForestRegressor  # noqa: E402
+from repro.ml.importance import permutation_importance  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPEATS = 3
+
+
+def _data(n_rows=250, n_features=40, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_rows, n_features))
+    y = X[:, :5] @ rng.normal(size=5) + 0.2 * rng.normal(size=n_rows)
+    return X, y
+
+
+def _models(X, y):
+    """The fast-preset FRA forest and validation-GB shapes, hist-fit."""
+    forest = RandomForestRegressor(
+        n_estimators=8, max_depth=8, max_features="sqrt",
+        min_samples_leaf=2, random_state=0, splitter="hist",
+    ).fit(X, y)
+    gb = GradientBoostingRegressor(
+        n_estimators=15, max_depth=3, learning_rate=0.15,
+        subsample=0.8, random_state=0, splitter="hist",
+    ).fit(X, y)
+    return forest, gb
+
+
+def _best_of(fn, repeats=REPEATS):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _mode_pair(fn):
+    """(naive_s, compiled_s) best-of timings of ``fn`` under each mode."""
+    out = {}
+    for mode in ("naive", "compiled"):
+        def run(mode=mode):
+            with use_predictor(mode):
+                return fn()
+        out[mode] = _best_of(run)
+    (naive_s, naive_val), (compiled_s, compiled_val) = (
+        out["naive"], out["compiled"])
+    for a, b in zip(np.atleast_1d(naive_val), np.atleast_1d(compiled_val)):
+        assert np.array_equal(a, b, equal_nan=True), \
+            "compiled path diverged from the interpreted path"
+    return naive_s, compiled_s
+
+
+def _entry(naive_s, compiled_s, **extra):
+    entry = {
+        "naive_s": round(naive_s, 4),
+        "compiled_s": round(compiled_s, 4),
+        "speedup_compiled": round(naive_s / compiled_s, 2)
+        if compiled_s else None,
+    }
+    entry.update(extra)
+    return entry
+
+
+def bench_pfi_stage(models, X, y):
+    forest, gb = models
+
+    def run():
+        return np.concatenate([
+            permutation_importance(forest, X, y, n_repeats=5,
+                                   random_state=0, n_jobs=1),
+            permutation_importance(gb, X, y, n_repeats=5,
+                                   random_state=0, n_jobs=1),
+        ])
+
+    naive_s, compiled_s = _mode_pair(run)
+    return _entry(naive_s, compiled_s,
+                  n_rows=X.shape[0], n_features=X.shape[1], n_repeats=5)
+
+
+def bench_improvement_scoring(models, X, y):
+    # The improvement stage scores each candidate feature set by
+    # predicting with already-fitted fold models; replay that predict
+    # pattern (30 scoring passes per estimator) without the fits.
+    forest, gb = models
+    passes = 30
+
+    def run():
+        acc = np.zeros(X.shape[0])
+        for _ in range(passes):
+            acc += forest.predict(X)
+            acc += gb.predict(X)
+        return acc
+
+    naive_s, compiled_s = _mode_pair(run)
+    return _entry(naive_s, compiled_s, scoring_passes=passes)
+
+
+def bench_large_batch(models, X, y):
+    forest, gb = models
+    big = np.tile(X, (200, 1))  # backtest-scale batch
+
+    def run():
+        return forest.predict(big) + gb.predict(big)
+
+    naive_s, compiled_s = _mode_pair(run)
+    return _entry(naive_s, compiled_s, n_rows=big.shape[0])
+
+
+def bench_hist_binned(models, X, y):
+    # Within the compiled path: full predict (bin + walk) vs walking
+    # prebinned uint8 codes — the PFI inner loop reuses codes, so the
+    # delta is what binned reuse buys.
+    forest, _ = models
+    compiled = compile_ensemble(forest)
+    assert compiled.has_bins
+    big = np.tile(X, (50, 1))
+    codes = compiled.bin(big)
+    assert np.array_equal(compiled.predict_binned(codes),
+                          compiled.predict(big), equal_nan=True)
+    raw_s, _ = _best_of(lambda: compiled.predict(big))
+    binned_s, _ = _best_of(lambda: compiled.predict_binned(codes))
+    return {
+        "raw_s": round(raw_s, 4),
+        "binned_s": round(binned_s, 4),
+        "speedup_binned": round(raw_s / binned_s, 2) if binned_s else None,
+        "n_rows": big.shape[0],
+    }
+
+
+def main() -> int:
+    X, y = _data()
+    models = _models(X, y)
+    payload = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "n_jobs": 1,
+        "note": ("fits happen outside all timers — only prediction-side "
+                 "work is measured; compiled-vs-naive ratios are "
+                 "algorithmic (serial, single process) and comparable "
+                 "across hosts, absolute seconds are not"),
+        "benchmarks": {},
+    }
+    benches = {
+        "pfi_stage": bench_pfi_stage,
+        "improvement_scoring": bench_improvement_scoring,
+        "large_batch": bench_large_batch,
+        "hist_binned": bench_hist_binned,
+    }
+    for name, bench in benches.items():
+        result = bench(models, X, y)
+        payload["benchmarks"][name] = result
+        line = "  ".join(f"{key}={value}" for key, value in result.items())
+        print(f"{name:20s} {line}")
+
+    pfi = payload["benchmarks"]["pfi_stage"]
+    eval_ = payload["benchmarks"]["improvement_scoring"]
+    naive_total = pfi["naive_s"] + eval_["naive_s"]
+    compiled_total = pfi["compiled_s"] + eval_["compiled_s"]
+    payload["benchmarks"]["pfi_plus_eval"] = {
+        "naive_s": round(naive_total, 4),
+        "compiled_s": round(compiled_total, 4),
+        "speedup_compiled": round(naive_total / compiled_total, 2)
+        if compiled_total else None,
+    }
+    print(f"{'pfi_plus_eval':20s} "
+          f"speedup_compiled="
+          f"{payload['benchmarks']['pfi_plus_eval']['speedup_compiled']}")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_predict.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

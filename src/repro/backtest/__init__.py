@@ -5,12 +5,22 @@ Typical use::
 
     from repro.backtest import BacktestConfig, LongFlat, walk_forward
 
-    result = walk_forward(prices, model_forecasts, LongFlat(),
+    result = walk_forward(prices, forecast_series, LongFlat(),
                           BacktestConfig(rebalance_every=7, cost_bps=10))
     print(result.summary())
+
+or, letting the engine predict (compiled-kernel aware)::
+
+    result = walk_forward(prices, strategy=LongFlat(),
+                          model=fitted_model, features=feature_rows)
 """
 
-from .engine import BacktestConfig, BacktestResult, walk_forward
+from .engine import (
+    BacktestConfig,
+    BacktestResult,
+    model_forecasts,
+    walk_forward,
+)
 from .metrics import (
     annualized_return,
     annualized_volatility,
@@ -35,6 +45,7 @@ __all__ = [
     "calmar_ratio",
     "hit_rate",
     "max_drawdown",
+    "model_forecasts",
     "sharpe_ratio",
     "sortino_ratio",
     "total_return",

@@ -24,7 +24,27 @@ from .metrics import (
 )
 from .strategy import Strategy
 
-__all__ = ["BacktestConfig", "BacktestResult", "walk_forward"]
+__all__ = [
+    "BacktestConfig",
+    "BacktestResult",
+    "model_forecasts",
+    "walk_forward",
+]
+
+
+def model_forecasts(model, features) -> np.ndarray:
+    """Forecast series for :func:`walk_forward` from a fitted model.
+
+    ``features`` holds one row per backtest day (information up to that
+    day only — the caller owns the no-look-ahead alignment). Prediction
+    honours the active predictor mode (:mod:`repro.ml.compiled`): fitted
+    ensembles run the flat-array kernel under ``"compiled"``, and the
+    outputs are bit-identical to the interpreted path either way.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError("features must be 2-D (one row per day)")
+    return np.asarray(model.predict(features), dtype=np.float64).ravel()
 
 
 @dataclass(frozen=True)
@@ -76,9 +96,12 @@ class BacktestResult:
 
 def walk_forward(
     prices,
-    forecasts,
-    strategy: Strategy,
+    forecasts=None,
+    strategy: Strategy | None = None,
     config: BacktestConfig | None = None,
+    *,
+    model=None,
+    features=None,
 ) -> BacktestResult:
     """Run one walk-forward backtest.
 
@@ -94,6 +117,11 @@ def walk_forward(
         Maps (price, forecast) to a target weight at rebalance dates.
     config:
         Execution parameters; defaults to :class:`BacktestConfig()`.
+    model, features:
+        Alternative to ``forecasts``: a fitted model plus its per-day
+        feature rows; the engine computes the forecast series itself via
+        :func:`model_forecasts` (one batched predict, compiled-kernel
+        aware). Mutually exclusive with ``forecasts``.
 
     Returns
     -------
@@ -102,6 +130,18 @@ def walk_forward(
         weight path, trade count and cumulative costs.
     """
     config = config if config is not None else BacktestConfig()
+    if strategy is None:
+        raise ValueError("a strategy is required")
+    if (model is None) != (features is None):
+        raise ValueError("model and features must be passed together")
+    if model is not None:
+        if forecasts is not None:
+            raise ValueError(
+                "pass either forecasts or (model, features), not both"
+            )
+        forecasts = model_forecasts(model, features)
+    if forecasts is None:
+        raise ValueError("either forecasts or (model, features) required")
     prices = np.asarray(prices, dtype=np.float64).ravel()
     forecasts = np.asarray(forecasts, dtype=np.float64).ravel()
     if prices.size != forecasts.size:

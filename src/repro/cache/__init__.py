@@ -20,16 +20,21 @@ Layout:
   scoped store access, so deep layers need no signature changes.
 * :mod:`~repro.cache.fit` — :func:`fit_cached`, memoised ``fit`` through
   :mod:`repro.ml.persistence` (bit-identical round-trip).
+* :mod:`~repro.cache.compiled` — :func:`compile_cached`, memoised
+  flat-array predict compilation (:mod:`repro.ml.compiled`), addressed
+  by the fitted tree structure itself.
 
 Wired into ``run_experiment(cache_dir=...)`` and the CLI via
 ``repro run --cache-dir / --no-cache`` (see :mod:`repro.core.pipeline`).
 Everything degrades to plain computation when no store is installed.
 """
 
+from .compiled import compile_cached
 from .context import current_cache, use_cache
 from .fit import fit_cached
 from .keys import (
     array_digest,
+    compiled_key,
     dataset_key,
     fingerprint_parts,
     frame_digest,
@@ -42,6 +47,8 @@ from .store import CacheStore
 __all__ = [
     "CacheStore",
     "array_digest",
+    "compile_cached",
+    "compiled_key",
     "current_cache",
     "dataset_key",
     "fingerprint_parts",

@@ -1,0 +1,51 @@
+"""Memoised ensemble compilation (see :mod:`repro.ml.compiled`).
+
+Compiling a fitted ensemble into flat predict arrays is cheap next to a
+fit, but warm-cache runs skip fits entirely — there the compile pass is
+the only per-model cost left. :func:`compile_cached` memoises the
+compiled artifact against the contextual
+:class:`~repro.cache.store.CacheStore`, content-addressed by the fitted
+tree structure itself (:func:`~repro.cache.keys.compiled_key`), so a
+restored model never recompiles what an earlier run already flattened.
+
+This module lives on the cache side of the dependency arrow on purpose:
+``repro.ml`` must not import ``repro.cache`` (the cache already imports
+the ml persistence layer), so estimators keep only a plain in-instance
+compile cache and this store-backed layer composes on top.
+"""
+
+from __future__ import annotations
+
+from ..ml.compiled import CompiledEnsemble, compile_ensemble
+from ..obs import get_logger
+from .context import current_cache
+from .keys import compiled_key
+
+__all__ = ["compile_cached"]
+
+_log = get_logger("cache")
+
+
+def compile_cached(estimator, tag: str = "") -> CompiledEnsemble:
+    """:func:`~repro.ml.compiled.compile_ensemble` memoised by content.
+
+    With no contextual cache installed this is exactly
+    ``compile_ensemble``. The key hashes the fitted node arrays, so any
+    two identically-fitted estimators — fresh fit, cache-restored,
+    unpickled — share one stored artifact.
+
+    ``tag`` namespaces call sites, mirroring :func:`repro.cache.fit_cached`.
+    """
+    store = current_cache()
+    if store is None:
+        return compile_ensemble(estimator)
+    key = compiled_key(estimator, tag=tag)
+    payload = store.get(key)
+    if payload is not None:
+        try:
+            return CompiledEnsemble.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            _log.warning("cache.compiled_decode_failed", key=key, tag=tag)
+    compiled = compile_ensemble(estimator)
+    store.put(key, compiled.to_dict())
+    return compiled

@@ -143,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "results) or 'hist' (quantile-binned histogram "
                           "kernel, substantially faster; statistically "
                           "equivalent output)")
+    run.add_argument("--predictor", choices=("compiled", "naive"),
+                     default=None,
+                     help="ensemble inference path: 'compiled' "
+                          "(flat-array level-wise kernel, the default) "
+                          "or 'naive' (interpreted per-tree loop); "
+                          "predictions are bit-identical either way")
     run.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                      help="content-addressed artifact cache: memoise the "
                           "dataset, scenario frames, per-scenario results "
@@ -326,6 +332,8 @@ def _cmd_run(args) -> int:
         config = dataclasses.replace(config, on_error="capture")
     if args.splitter is not None:
         config = dataclasses.replace(config, splitter=args.splitter)
+    if args.predictor is not None:
+        config = dataclasses.replace(config, predictor=args.predictor)
 
     cache_dir = None
     if not args.no_cache:

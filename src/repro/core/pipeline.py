@@ -32,6 +32,7 @@ from ..cache import (
 )
 from ..categories import DataCategory
 from ..frame.validation import ColumnRule, validate_frame
+from ..ml.compiled import PREDICTORS, use_predictor
 from ..obs import (
     MetricsRegistry,
     RunSummary,
@@ -114,6 +115,14 @@ class ExperimentConfig:
     see :mod:`repro.ml.tree`).  Propagated into the FRA, SHAP, horizons
     and improvement model parameters unless a stage's params already pin
     a splitter explicitly."""
+
+    predictor: str = "compiled"
+    """Inference path for every fitted tree ensemble's ``predict``:
+    ``"compiled"`` (default; the flat-array level-wise kernel of
+    :mod:`repro.ml.compiled`) or ``"naive"`` (the interpreted per-tree
+    loop).  Predictions are bit-identical either way, so this is pure
+    execution shape — like ``n_jobs`` it never enters config
+    fingerprints or cache keys."""
 
     verbose: bool = False
     n_jobs: int | None = None
@@ -537,7 +546,8 @@ def _scenario_task(item: tuple, config: ExperimentConfig,
     key, scenario = item
     slog = get_logger("pipeline").bind(scenario=key)
     cache_scope = use_cache(cache) if cache is not None else nullcontext()
-    with cache_scope, span("pipeline.scenario", scenario=key):
+    with cache_scope, use_predictor(config.predictor), \
+            span("pipeline.scenario", scenario=key):
         slog.info("selection.start", candidates=scenario.n_features)
         selection = select_final_features(
             scenario.X, scenario.y, scenario.feature_names,
@@ -624,6 +634,11 @@ def run_experiment(config: ExperimentConfig | None = None,
             f"splitter must be one of {_SPLITTERS}, got {config.splitter!r}"
         )
     config = _apply_splitter(config)
+    if config.predictor not in PREDICTORS:
+        raise ValueError(
+            f"predictor must be one of {PREDICTORS}, "
+            f"got {config.predictor!r}"
+        )
     if config.on_error not in ("raise", "capture"):
         raise ValueError(
             f"on_error must be 'raise' or 'capture', got {config.on_error!r}"
@@ -646,7 +661,7 @@ def run_experiment(config: ExperimentConfig | None = None,
     cache_scope = use_cache(store) if store is not None else nullcontext()
 
     with use_tracer(tracer), use_metrics(metrics), cache_scope, \
-            tracer.span("experiment.run"):
+            use_predictor(config.predictor), tracer.span("experiment.run"):
         degradation_report: DegradationReport | None = None
         if raw is None:
             dkey = None
@@ -703,12 +718,14 @@ def run_experiment(config: ExperimentConfig | None = None,
 
         fingerprint = None
         if checkpoint_dir is not None or store is not None:
-            # n_jobs / verbose can't change results (determinism
-            # contract), so they don't participate in the fingerprint:
-            # a run killed at --jobs 4 may resume at --jobs 1, and a
-            # serial run may reuse a parallel run's cache entries.
+            # n_jobs / verbose / predictor can't change results
+            # (determinism + bit-identity contracts), so they don't
+            # participate in the fingerprint: a run killed at --jobs 4
+            # may resume at --jobs 1, and a --predictor naive run may
+            # reuse a compiled run's cache entries.
             fingerprint = config_fingerprint(
-                replace(config, n_jobs=None, verbose=False)
+                replace(config, n_jobs=None, verbose=False,
+                        predictor="compiled")
             )
 
         checkpoint: RunCheckpoint | None = None

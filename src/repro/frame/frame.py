@@ -39,7 +39,7 @@ class Frame:
         NaN.
     """
 
-    __slots__ = ("_index", "_names", "_data")
+    __slots__ = ("_index", "_names", "_data", "_matrix")
 
     def __init__(self, index: DateIndex, columns: Mapping[str, Iterable]):
         if not isinstance(index, DateIndex):
@@ -47,6 +47,7 @@ class Frame:
         self._index = index
         self._names: list[str] = []
         self._data: dict[str, np.ndarray] = {}
+        self._matrix: np.ndarray | None = None
         for name, values in columns.items():
             arr = np.asarray(values, dtype=np.float64).copy()
             if arr.ndim != 1:
@@ -69,13 +70,37 @@ class Frame:
     def from_matrix(
         cls, index: DateIndex, matrix: np.ndarray, names: Sequence[str]
     ) -> "Frame":
-        """Build a frame from a dense ``(n_rows, n_cols)`` matrix."""
-        matrix = np.asarray(matrix, dtype=np.float64)
+        """Build a frame from a dense ``(n_rows, n_cols)`` matrix.
+
+        Copies the input exactly once (column-major), so every column is
+        a contiguous read-only view into the copy — the constructor's
+        per-column slice-then-copy double pass is bypassed. The copy
+        also seeds the :meth:`to_matrix` cache.
+        """
+        if not isinstance(index, DateIndex):
+            raise TypeError("index must be a DateIndex")
+        matrix = np.array(matrix, dtype=np.float64, order="F", copy=True)
         if matrix.ndim != 2:
             raise ValueError("matrix must be 2-D")
         if matrix.shape[1] != len(names):
             raise ValueError("matrix width does not match number of names")
-        return cls(index, {n: matrix[:, j] for j, n in enumerate(names)})
+        if matrix.shape[0] != len(index):
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows, "
+                f"index has length {len(index)}"
+            )
+        matrix.flags.writeable = False
+        frame = cls.__new__(cls)
+        frame._index = index
+        frame._names = []
+        frame._data = {}
+        frame._matrix = matrix
+        for j, name in enumerate(names):
+            if name in frame._data:
+                raise ValueError(f"duplicate column name {name!r}")
+            frame._names.append(str(name))
+            frame._data[str(name)] = matrix[:, j]
+        return frame
 
     @classmethod
     def empty(cls, index: DateIndex) -> "Frame":
@@ -130,6 +155,19 @@ class Frame:
         )
 
     __hash__ = None  # frames hold arrays; equality is deep
+
+    def __getstate__(self):
+        # The memoised dense matrix is derived state: drop it from
+        # pickles so cached/checkpointed frames don't double in size
+        # (it rebuilds lazily on the first to_matrix after load).
+        return {"_index": self._index, "_names": self._names,
+                "_data": self._data}
+
+    def __setstate__(self, state):
+        self._index = state["_index"]
+        self._names = state["_names"]
+        self._data = state["_data"]
+        self._matrix = None
 
     # ------------------------------------------------------------------
     # Column access
@@ -234,10 +272,27 @@ class Frame:
     # Conversion
     # ------------------------------------------------------------------
     def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
-        """Dense float64 matrix ``(n_rows, n_cols)`` in column order."""
+        """Dense float64 matrix ``(n_rows, n_cols)`` in column order.
+
+        Full-frame calls (``names=None`` or the frame's own column
+        order) materialise the matrix once and return the same
+        *read-only* array on every subsequent call — the model-training
+        and cache-keying hot paths convert the same frame repeatedly.
+        Callers that need to write into the result should copy it.
+        Subset or reordered calls build a fresh writable matrix.
+        """
         use = list(names) if names is not None else self._names
         if not use:
             return np.empty((self.n_rows, 0))
+        if use == self._names:
+            # getattr: frames unpickled from before the cache slot
+            # existed arrive without it.
+            cached = getattr(self, "_matrix", None)
+            if cached is None:
+                cached = np.column_stack([self._data[n] for n in use])
+                cached.flags.writeable = False
+                self._matrix = cached
+            return cached
         return np.column_stack([self[n] for n in use])
 
     def to_dict(self) -> dict[str, np.ndarray]:

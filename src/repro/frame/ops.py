@@ -128,14 +128,84 @@ def rolling_apply(values: np.ndarray, window: int, func) -> np.ndarray:
     return out
 
 
+def _window_sums(values: np.ndarray, window: int):
+    """Trailing-window sums via cumulative-sum differences.
+
+    Returns ``(sums, bad)`` for the ``size - window + 1`` complete
+    windows, where ``bad`` flags windows containing any NaN (their sum
+    is meaningless — NaNs were zero-substituted before accumulating).
+    Callers must have excluded ±inf inputs: ``inf - inf`` in the
+    difference would poison every window after the first infinity.
+    """
+    isnan = np.isnan(values)
+    safe = np.where(isnan, 0.0, values)
+    csum = np.concatenate(([0.0], np.cumsum(safe)))
+    sums = csum[window:] - csum[:-window]
+    ncsum = np.concatenate(([0], np.cumsum(isnan)))
+    bad = (ncsum[window:] - ncsum[:-window]) > 0
+    return sums, bad
+
+
+def _closed_form_ok(values: np.ndarray, window: int) -> bool:
+    """Whether the cumsum closed forms apply to this input.
+
+    ``window == 1`` must return an exact copy (cumsum round-trips are
+    not exact identities for arbitrary floats), and infinities break
+    cumulative differencing — both route back to :func:`rolling_apply`.
+    """
+    return (window > 1 and values.size >= window
+            and not np.isinf(values).any())
+
+
 def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
-    """Trailing-window mean (NaN warm-up; NaNs propagate)."""
-    return rolling_apply(values, window, np.mean)
+    """Trailing-window mean (NaN warm-up; NaNs propagate).
+
+    Computed in closed form from cumulative sums — one vectorised pass
+    rather than a per-window reduction over a strided view (the
+    indicator suite calls this for every feature × window pair).
+    :func:`rolling_apply` remains the behavioural reference and the
+    fallback for inputs the closed form cannot serve exactly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not _closed_form_ok(values, window):
+        return rolling_apply(values, window, np.mean)
+    sums, bad = _window_sums(values, window)
+    result = sums / window
+    result[bad] = np.nan
+    out = np.full(values.size, np.nan)
+    out[window - 1:] = result
+    return out
 
 
 def rolling_std(values: np.ndarray, window: int) -> np.ndarray:
-    """Trailing-window standard deviation."""
-    return rolling_apply(values, window, np.std)
+    """Trailing-window standard deviation (population, ddof=0).
+
+    Closed form over cumulative sums of the *globally centred* series:
+    variance is shift-invariant, and centring first suppresses the
+    catastrophic cancellation the raw ``E[x²] − E[x]²`` identity
+    suffers on large-offset series (a constant series still yields an
+    exact 0). Falls back to :func:`rolling_apply` like
+    :func:`rolling_mean`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not _closed_form_ok(values, window):
+        return rolling_apply(values, window, np.std)
+    finite = ~np.isnan(values)
+    center = float(values[finite].mean()) if finite.any() else 0.0
+    centred = values - center
+    sums, bad = _window_sums(centred, window)
+    squares, _ = _window_sums(centred * centred, window)
+    mean = sums / window
+    variance = np.maximum(squares / window - mean * mean, 0.0)
+    result = np.sqrt(variance)
+    result[bad] = np.nan
+    out = np.full(values.size, np.nan)
+    out[window - 1:] = result
+    return out
 
 
 def rolling_min(values: np.ndarray, window: int) -> np.ndarray:
@@ -149,5 +219,15 @@ def rolling_max(values: np.ndarray, window: int) -> np.ndarray:
 
 
 def rolling_sum(values: np.ndarray, window: int) -> np.ndarray:
-    """Trailing-window sum."""
-    return rolling_apply(values, window, np.sum)
+    """Trailing-window sum (closed form; see :func:`rolling_mean`)."""
+    values = np.asarray(values, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not _closed_form_ok(values, window):
+        return rolling_apply(values, window, np.sum)
+    sums, bad = _window_sums(values, window)
+    result = sums
+    result[bad] = np.nan
+    out = np.full(values.size, np.nan)
+    out[window - 1:] = result
+    return out

@@ -8,6 +8,14 @@ TreeSHAP treat every model family the same way.
 """
 
 from .boosting import GradientBoostingRegressor
+from .compiled import (
+    PREDICTORS,
+    CompiledEnsemble,
+    compile_ensemble,
+    current_predictor,
+    maybe_compile,
+    use_predictor,
+)
 from .forest import RandomForestRegressor
 from .importance import (
     mdi_importance,
@@ -47,6 +55,7 @@ from .shap import TreeExplainer, shap_importance
 from .tree import DecisionTreeRegressor, TreeStructure
 
 __all__ = [
+    "CompiledEnsemble",
     "DecisionTreeRegressor",
     "GradientBoostingRegressor",
     "GridSearchCV",
@@ -54,6 +63,7 @@ __all__ = [
     "LinearRegression",
     "MLPRegressor",
     "MinMaxScaler",
+    "PREDICTORS",
     "ParameterGrid",
     "RandomForestRegressor",
     "Ridge",
@@ -64,9 +74,12 @@ __all__ = [
     "TreeStructure",
     "VotingRegressor",
     "clone",
+    "compile_ensemble",
     "cross_val_predict",
     "cross_val_score",
+    "current_predictor",
     "load_model",
+    "maybe_compile",
     "mdi_importance",
     "mean_absolute_error",
     "mean_absolute_percentage_error",
@@ -82,4 +95,5 @@ __all__ = [
     "shap_importance",
     "target_correlations",
     "train_test_split",
+    "use_predictor",
 ]

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..obs import span
+from ..obs import current_metrics, span
+from .compiled import current_predictor, ensemble_compiled
 from .tree import DecisionTreeRegressor, bin_features
 
 __all__ = ["GradientBoostingRegressor"]
@@ -86,6 +87,8 @@ class GradientBoostingRegressor:
         self.base_prediction_: float | None = None
         self.n_features_in_: int | None = None
         self.train_losses_: list[float] = []
+        self.bin_cuts_: tuple | None = None
+        self._compiled_ = None
 
     # ------------------------------------------------------------------
     def get_params(self) -> dict:
@@ -134,6 +137,8 @@ class GradientBoostingRegressor:
         with span("ml.gb_fit", splitter=self.splitter,
                   n_estimators=self.n_estimators):
             bins = bin_features(X) if self.splitter == "hist" else None
+            self.bin_cuts_ = bins.cuts if bins is not None else None
+            self._compiled_ = None
             sample_size = max(1, int(round(self.subsample * n_samples)))
             for _ in range(self.n_estimators):
                 residual = y - current
@@ -160,13 +165,23 @@ class GradientBoostingRegressor:
         return self
 
     def predict(self, X) -> np.ndarray:
-        """Predict targets for every row of X."""
+        """Predict targets for every row of X.
+
+        Under the ``"compiled"`` predictor mode (see
+        :mod:`repro.ml.compiled`) the flattened level-wise kernel runs
+        instead of the per-stage loop; outputs are bit-identical.
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X must be 2-D with {self.n_features_in_} features"
             )
+        if current_predictor() == "compiled":
+            return ensemble_compiled(self).predict(X)
+        metrics = current_metrics()
+        metrics.counter("predict.naive_calls").inc()
+        metrics.counter("predict.naive_rows").inc(X.shape[0])
         out = np.full(X.shape[0], self.base_prediction_, dtype=np.float64)
         for tree in self.estimators_:
             out += self.learning_rate * tree.tree_.predict(X)

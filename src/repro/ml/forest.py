@@ -17,8 +17,9 @@ from functools import partial
 
 import numpy as np
 
-from ..obs import span
+from ..obs import current_metrics, span
 from ..parallel import ParallelMap, spawn_seeds
+from .compiled import current_predictor, ensemble_compiled
 from .tree import DecisionTreeRegressor, bin_features
 
 __all__ = ["RandomForestRegressor"]
@@ -99,6 +100,8 @@ class RandomForestRegressor:
         self.n_jobs = n_jobs
         self.estimators_: list[DecisionTreeRegressor] = []
         self.n_features_in_: int | None = None
+        self.bin_cuts_: tuple | None = None
+        self._compiled_ = None
 
     # ------------------------------------------------------------------
     def get_params(self) -> dict:
@@ -145,6 +148,8 @@ class RandomForestRegressor:
         with span("ml.forest_fit", splitter=self.splitter,
                   n_estimators=self.n_estimators):
             bins = bin_features(X) if self.splitter == "hist" else None
+            self.bin_cuts_ = bins.cuts if bins is not None else None
+            self._compiled_ = None
             seeds = spawn_seeds(self.random_state, self.n_estimators)
             fit_one = partial(_fit_tree, X=X, y=y, tree_params=tree_params,
                               bootstrap=self.bootstrap, bins=bins)
@@ -152,13 +157,23 @@ class RandomForestRegressor:
         return self
 
     def predict(self, X) -> np.ndarray:
-        """Mean prediction across all trees."""
+        """Mean prediction across all trees.
+
+        Under the ``"compiled"`` predictor mode (see
+        :mod:`repro.ml.compiled`) the flattened level-wise kernel runs
+        instead of the per-tree loop; outputs are bit-identical.
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X must be 2-D with {self.n_features_in_} features"
             )
+        if current_predictor() == "compiled":
+            return ensemble_compiled(self).predict(X, n_jobs=self.n_jobs)
+        metrics = current_metrics()
+        metrics.counter("predict.naive_calls").inc()
+        metrics.counter("predict.naive_rows").inc(X.shape[0])
         stacked = np.empty((len(self.estimators_), X.shape[0]),
                            dtype=np.float64)
         for i, tree in enumerate(self.estimators_):

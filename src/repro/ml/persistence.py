@@ -65,6 +65,24 @@ def _tree_in(spec: dict) -> TreeStructure:
                             for key, val in spec.items()})
 
 
+def _cuts_out(model) -> list | None:
+    """Serialised hist cut grid, or None for exact-splitter fits."""
+    cuts = getattr(model, "bin_cuts_", None)
+    if cuts is None:
+        return None
+    return [_array_out(np.asarray(cut)) for cut in cuts]
+
+
+def _cuts_in(state: dict) -> tuple | None:
+    # ``.get``: documents written before the cut grid existed load
+    # fine — they just lose the compiled binned fast path, never
+    # correctness (the raw-threshold kernel is bit-identical).
+    spec = state.get("bin_cuts")
+    if spec is None:
+        return None
+    return tuple(_array_in(cut) for cut in spec)
+
+
 def _params_out(params: dict) -> dict:
     """Make constructor params JSON-safe (tuples become tagged lists)."""
     out = {}
@@ -104,6 +122,9 @@ def model_to_dict(model) -> dict:
         model._check_fitted()
         state["tree"] = _tree_out(model.tree_)
         state["n_features_in"] = model.n_features_in_
+        cuts = _cuts_out(model)
+        if cuts is not None:
+            state["bin_cuts"] = cuts
     elif isinstance(model, RandomForestRegressor):
         model._check_fitted()
         state["trees"] = [_tree_out(t.tree_) for t in model.estimators_]
@@ -111,6 +132,9 @@ def model_to_dict(model) -> dict:
             _params_out(t.get_params()) for t in model.estimators_
         ]
         state["n_features_in"] = model.n_features_in_
+        cuts = _cuts_out(model)
+        if cuts is not None:
+            state["bin_cuts"] = cuts
     elif isinstance(model, GradientBoostingRegressor):
         model._check_fitted()
         state["trees"] = [_tree_out(t.tree_) for t in model.estimators_]
@@ -119,6 +143,9 @@ def model_to_dict(model) -> dict:
         ]
         state["base_prediction"] = model.base_prediction_
         state["n_features_in"] = model.n_features_in_
+        cuts = _cuts_out(model)
+        if cuts is not None:
+            state["bin_cuts"] = cuts
     elif isinstance(model, (LinearRegression, Ridge)):
         if model.coef_ is None:
             raise RuntimeError("cannot serialise an unfitted model")
@@ -153,6 +180,7 @@ def model_from_dict(doc: dict):
     if cls is DecisionTreeRegressor:
         model.tree_ = _tree_in(state["tree"])
         model.n_features_in_ = state["n_features_in"]
+        model.bin_cuts_ = _cuts_in(state)
     elif cls in (RandomForestRegressor, GradientBoostingRegressor):
         trees = []
         for tree_doc, params in zip(state["trees"], state["tree_params"]):
@@ -162,6 +190,7 @@ def model_from_dict(doc: dict):
             trees.append(sub)
         model.estimators_ = trees
         model.n_features_in_ = state["n_features_in"]
+        model.bin_cuts_ = _cuts_in(state)
         if cls is GradientBoostingRegressor:
             model.base_prediction_ = state["base_prediction"]
     elif cls in (LinearRegression, Ridge):

@@ -357,6 +357,8 @@ class DecisionTreeRegressor:
         self.random_state = random_state
         self.tree_: TreeStructure | None = None
         self.n_features_in_: int | None = None
+        self.bin_cuts_: tuple | None = None
+        self._compiled_ = None
 
     # ------------------------------------------------------------------
     def get_params(self) -> dict:
@@ -454,13 +456,21 @@ class DecisionTreeRegressor:
                                   replace=False)
             return np.arange(n_features)
 
+        self._compiled_ = None
         if self.splitter == "hist":
             current_metrics().counter("ml.tree_fit.hist").inc()
+            if bins is None:
+                bins = bin_features(X)
+            # The cut grid is what post-fit compilation needs to map
+            # thresholds back to bin codes (repro.ml.compiled); the
+            # per-row codes stay fit-local.
+            self.bin_cuts_ = bins.cuts
             lists = (children_left, children_right, feature, threshold,
                      value, n_node, impurity)
             self._grow_hist(X, y, bins, lam, rng, k_features, lists)
         else:
             current_metrics().counter("ml.tree_fit.exact").inc()
+            self.bin_cuts_ = None
             nodes = (children_left, children_right, feature, threshold)
             self._grow_exact(X, y, lam, new_node, splittable,
                              draw_feats, nodes)

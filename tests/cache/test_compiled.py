@@ -1,0 +1,89 @@
+"""Memoised predict compilation: cached artifacts must predict identically."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheStore, compile_cached, compiled_key, use_cache
+from repro.ml import GradientBoostingRegressor, RandomForestRegressor
+from repro.ml.compiled import CompiledEnsemble, compile_ensemble
+from repro.obs import MetricsRegistry, use_metrics
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(100, 5))
+    y = X[:, 0] - X[:, 1] * X[:, 2] + 0.1 * rng.normal(size=100)
+    return X, y
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CacheStore(tmp_path / "cache")
+
+
+class TestCompiledKey:
+    def test_stable_for_same_fit(self, data):
+        X, y = data
+        a = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        b = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        assert compiled_key(a) == compiled_key(b)
+
+    def test_differs_across_fits_and_tags(self, data):
+        X, y = data
+        a = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        b = RandomForestRegressor(n_estimators=3, random_state=1).fit(X, y)
+        assert compiled_key(a) != compiled_key(b)
+        assert compiled_key(a) != compiled_key(a, tag="other")
+
+    def test_splitter_changes_key(self, data):
+        X, y = data
+        exact = GradientBoostingRegressor(
+            n_estimators=3, splitter="exact", random_state=0).fit(X, y)
+        hist = GradientBoostingRegressor(
+            n_estimators=3, splitter="hist", random_state=0).fit(X, y)
+        assert compiled_key(exact) != compiled_key(hist)
+
+
+class TestCompileCached:
+    def test_no_store_plain_compile(self, data):
+        X, y = data
+        est = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        compiled = compile_cached(est)
+        assert isinstance(compiled, CompiledEnsemble)
+        assert np.array_equal(compiled.predict(X),
+                              compile_ensemble(est).predict(X))
+
+    @pytest.mark.parametrize("splitter", ["exact", "hist"])
+    def test_hit_predicts_identically(self, data, store, splitter):
+        X, y = data
+        est = GradientBoostingRegressor(
+            n_estimators=4, max_depth=3, splitter=splitter, random_state=0
+        ).fit(X, y)
+        with use_cache(store):
+            miss = compile_cached(est)
+            hit = compile_cached(est)
+        assert hit is not miss
+        assert hit.has_bins == miss.has_bins
+        assert np.array_equal(hit.predict(X), miss.predict(X))
+
+    def test_counters_reflect_miss_then_hit(self, data, store):
+        X, y = data
+        est = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        registry = MetricsRegistry()
+        with use_metrics(registry), use_cache(store):
+            compile_cached(est)
+            compile_cached(est)
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 1
+        assert counters["predict.compile_builds"] == 1
+
+    def test_corrupt_payload_falls_back_to_compile(self, data, store):
+        X, y = data
+        est = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y)
+        store.put(compiled_key(est), {"schema": "bogus"})
+        with use_cache(store):
+            compiled = compile_cached(est)
+        assert np.array_equal(compiled.predict(X),
+                              compile_ensemble(est).predict(X))

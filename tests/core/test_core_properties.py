@@ -158,8 +158,12 @@ class TestImprovementProperties:
         )
         improvements = res.improvements()
         mean = res.mean_improvement()
-        assert min(improvements.values()) - 1e-9 <= mean
-        assert mean <= max(improvements.values()) + 1e-9
+        lo, hi = min(improvements.values()), max(improvements.values())
+        # Tolerance must scale with magnitude: np.mean rounds within a
+        # few ulps, which exceeds any absolute epsilon once the
+        # improvement percentages reach ~1e7.
+        tol = 1e-9 * max(1.0, abs(lo), abs(hi))
+        assert lo - tol <= mean <= hi + tol
 
     @settings(max_examples=60, deadline=None)
     @given(st.floats(min_value=1e-3, max_value=1e3))

@@ -169,3 +169,77 @@ class TestRolling:
     def test_rolling_apply_custom(self):
         out = rolling_apply(np.array([1.0, 2, 3]), 2, np.median)
         assert out[2] == 2.5
+
+
+class TestRollingClosedForms:
+    """The cumsum closed forms must match rolling_apply exactly enough.
+
+    rolling_apply is the behavioural reference: identical NaN masks
+    always, and numerically indistinguishable values (the indicator
+    regression suite pins bit-level behaviour downstream).
+    """
+
+    @staticmethod
+    def _cases():
+        rng = np.random.default_rng(2)
+        plain = rng.normal(size=300)
+        with_nans = plain.copy()
+        with_nans[rng.integers(0, 300, 30)] = np.nan
+        offset = rng.normal(size=300) + 1e9
+        return {"plain": plain, "with_nans": with_nans,
+                "large_offset": offset}
+
+    @pytest.mark.parametrize("window", [2, 5, 30])
+    def test_mean_matches_reference(self, window):
+        for values in self._cases().values():
+            ref = rolling_apply(values, window, np.mean)
+            fast = rolling_mean(values, window)
+            assert np.array_equal(np.isnan(ref), np.isnan(fast))
+            np.testing.assert_allclose(fast, ref, rtol=1e-9, equal_nan=True)
+
+    @pytest.mark.parametrize("window", [2, 5, 30])
+    def test_sum_matches_reference(self, window):
+        for values in self._cases().values():
+            ref = rolling_apply(values, window, np.sum)
+            fast = rolling_sum(values, window)
+            assert np.array_equal(np.isnan(ref), np.isnan(fast))
+            np.testing.assert_allclose(fast, ref, rtol=1e-9, equal_nan=True)
+
+    @pytest.mark.parametrize("window", [2, 5, 30])
+    def test_std_matches_reference(self, window):
+        for values in self._cases().values():
+            ref = rolling_apply(values, window, np.std)
+            fast = rolling_std(values, window)
+            assert np.array_equal(np.isnan(ref), np.isnan(fast))
+            np.testing.assert_allclose(
+                fast, ref, rtol=1e-7, atol=1e-12, equal_nan=True)
+
+    def test_exact_small_pins(self):
+        np.testing.assert_array_equal(
+            rolling_mean(np.array([1.0, 2, 3, 4]), 2),
+            np.array([NAN, 1.5, 2.5, 3.5]))
+        np.testing.assert_array_equal(
+            rolling_sum(np.array([1.0, 2, 3, 4]), 3),
+            np.array([NAN, NAN, 6.0, 9.0]))
+
+    def test_constant_series_std_is_exactly_zero(self):
+        out = rolling_std(np.full(50, 7.25), 10)
+        assert (out[9:] == 0.0).all()
+
+    def test_window_one_is_exact_identity(self):
+        values = np.random.default_rng(3).normal(size=40) * 1e17
+        for func in (rolling_mean, rolling_sum):
+            assert np.array_equal(func(values, 1), values)
+        assert (rolling_std(values, 1)[~np.isnan(values)] == 0.0).all()
+
+    def test_inf_inputs_fall_back_to_reference(self):
+        values = np.array([1.0, np.inf, 3.0, 4.0, 5.0])
+        with np.errstate(invalid="ignore"):
+            for fast, reducer in ((rolling_mean, np.mean),
+                                  (rolling_sum, np.sum),
+                                  (rolling_std, np.std)):
+                np.testing.assert_array_equal(
+                    fast(values, 2), rolling_apply(values, 2, reducer))
+
+    def test_short_input_all_nan(self):
+        assert np.isnan(rolling_mean(np.array([1.0, 2.0]), 5)).all()

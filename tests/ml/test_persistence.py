@@ -126,3 +126,45 @@ class TestErrors:
         doc["format_version"] = 99
         with pytest.raises(ValueError):
             model_from_dict(doc)
+
+
+class TestBinCutsRoundTrip:
+    """Hist-splitter fits must keep their bin grid through persistence."""
+
+    def test_restored_model_keeps_binned_fast_path(self, data):
+        from repro.ml.compiled import compile_ensemble
+
+        X, y = data
+        est = GradientBoostingRegressor(
+            n_estimators=4, max_depth=3, splitter="hist", random_state=0
+        ).fit(X, y)
+        clone = model_from_dict(model_to_dict(est))
+        assert clone.bin_cuts_ is not None
+        assert len(clone.bin_cuts_) == len(est.bin_cuts_)
+        for a, b in zip(clone.bin_cuts_, est.bin_cuts_):
+            assert np.array_equal(a, b)
+        compiled = compile_ensemble(clone)
+        assert compiled.has_bins
+        assert np.array_equal(compiled.predict(X), est.predict(X))
+
+    def test_exact_fit_serialises_without_cuts(self, data):
+        X, y = data
+        est = DecisionTreeRegressor(max_depth=3, splitter="exact").fit(X, y)
+        doc = model_to_dict(est)
+        assert "bin_cuts" not in doc["state"]
+        assert model_from_dict(doc).bin_cuts_ is None
+
+    def test_pre_cut_documents_still_load(self, data):
+        from repro.ml.compiled import compile_ensemble
+
+        X, y = data
+        est = RandomForestRegressor(
+            n_estimators=3, max_depth=3, splitter="hist", random_state=0
+        ).fit(X, y)
+        doc = model_to_dict(est)
+        doc["state"].pop("bin_cuts")  # simulate an older document
+        clone = model_from_dict(doc)
+        assert clone.bin_cuts_ is None
+        compiled = compile_ensemble(clone)
+        assert not compiled.has_bins
+        assert np.array_equal(compiled.predict(X), est.predict(X))

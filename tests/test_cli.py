@@ -408,3 +408,69 @@ class TestIndexCommand:
         out = capsys.readouterr().out
         assert "best scaling power" in out
         assert "top-100 market share" in out
+
+
+class TestPredictorWiring:
+    def test_parser_accepts_predictor(self):
+        args = build_parser().parse_args(["run", "--predictor", "naive"])
+        assert args.predictor == "naive"
+
+    def test_parser_default_is_none(self):
+        args = build_parser().parse_args(["run"])
+        assert args.predictor is None
+
+    def test_parser_rejects_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--predictor", "jit"])
+
+    def test_flag_reaches_config(self, monkeypatch):
+        import repro.cli as cli
+
+        store = {}
+
+        def stub(config, checkpoint_dir=None, resume=False):
+            store["config"] = config
+            raise _Captured
+
+        monkeypatch.setattr(cli, "run_experiment", stub)
+        with pytest.raises(_Captured):
+            main(["run", "--predictor", "naive"])
+        assert store["config"].predictor == "naive"
+
+    def test_config_default_without_flag(self, monkeypatch):
+        import repro.cli as cli
+
+        store = {}
+
+        def stub(config, checkpoint_dir=None, resume=False):
+            store["config"] = config
+            raise _Captured
+
+        monkeypatch.setattr(cli, "run_experiment", stub)
+        with pytest.raises(_Captured):
+            main(["run"])
+        assert store["config"].predictor == "compiled"
+
+    def test_trace_summary_shows_predict_counters(self, tmp_path, capsys):
+        from repro.obs import Tracer, write_jsonl
+        from repro.obs.trace import Span
+
+        tracer = Tracer()
+        with tracer.span("experiment.run"):
+            pass
+        spans = list(tracer.spans)
+        spans.append(Span(
+            name="run.metrics", start=spans[0].start, end=spans[0].start,
+            attrs={"counters": {"predict.compiled_calls": 12,
+                                "predict.compiled_rows": 4800,
+                                "cache.hits": 2}},
+        ))
+        path = write_jsonl(spans, tmp_path / "t.jsonl")
+        code = main(["trace-summary", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "predict.compiled_calls" in out
+        assert "predict.compiled_rows" in out
+        assert "4800" in out
+        assert "cache.hits" in out

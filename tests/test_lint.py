@@ -24,7 +24,7 @@ def _run(*roots, cwd=REPO):
 
 class TestCheckNoPrint:
     def test_library_tree_is_clean(self):
-        result = _run("src/repro", "src/repro/cache")
+        result = _run("src/repro", "src/repro/cache", "src/repro/ml")
         assert result.returncode == 0, result.stderr
 
     def test_cache_package_is_inside_the_scanned_tree(self):
@@ -34,6 +34,8 @@ class TestCheckNoPrint:
         }
         assert "cache/store.py" in scanned
         assert "cache/fit.py" in scanned
+        assert "cache/compiled.py" in scanned
+        assert "ml/compiled.py" in scanned
 
     def test_planted_offender_in_nested_package_is_caught(self, tmp_path):
         nested = tmp_path / "lib" / "cache"
