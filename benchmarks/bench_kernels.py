@@ -26,7 +26,6 @@ ratios depend on the host and would make flaky assertions::
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import shutil
 import sys
@@ -38,13 +37,17 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+try:
+    from benchmarks._emit import write_bench
+except ImportError:  # run directly: benchmarks/ is sys.path[0]
+    from _emit import write_bench
+
 from repro.cache import CacheStore  # noqa: E402
 from repro.core.pipeline import ExperimentConfig, run_experiment  # noqa: E402
 from repro.ml.boosting import GradientBoostingRegressor  # noqa: E402
 from repro.ml.forest import RandomForestRegressor  # noqa: E402
 from repro.ml.tree import DecisionTreeRegressor, bin_features  # noqa: E402
 
-RESULTS_DIR = Path(__file__).parent / "results"
 REPEATS = 3
 
 
@@ -180,25 +183,21 @@ BENCHES = {
 
 
 def main() -> int:
-    payload = {
-        "schema": 1,
-        "cpu_count": os.cpu_count(),
-        "n_jobs": 1,
-        "note": ("hist-vs-exact and warm-vs-cold ratios are algorithmic "
-                 "(serial, single process), so they are comparable "
-                 "across hosts; absolute seconds are not"),
-        "benchmarks": {},
-    }
+    benchmarks = {}
     for name, bench in BENCHES.items():
         result = bench()
-        payload["benchmarks"][name] = result
+        benchmarks[name] = result
         line = "  ".join(
             f"{key}={value}" for key, value in result.items()
         )
         print(f"{name:14s} {line}")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_kernels.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench(
+        "kernels", benchmarks,
+        cpu_count=os.cpu_count(), n_jobs=1,
+        note=("hist-vs-exact and warm-vs-cold ratios are algorithmic "
+              "(serial, single process), so they are comparable "
+              "across hosts; absolute seconds are not"),
+    )
     print(f"wrote {out}")
     return 0
 

@@ -19,7 +19,6 @@ bench doubles as a determinism audit at realistic sizes.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import sys
 import time
@@ -29,6 +28,11 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+try:
+    from benchmarks._emit import write_bench
+except ImportError:  # run directly: benchmarks/ is sys.path[0]
+    from _emit import write_bench
+
 from repro.core.pipeline import ExperimentConfig, run_experiment  # noqa: E402
 from repro.ml.forest import RandomForestRegressor  # noqa: E402
 from repro.ml.importance import permutation_importance  # noqa: E402
@@ -36,7 +40,6 @@ from repro.ml.model_selection import GridSearchCV, KFold  # noqa: E402
 from repro.ml.shap import TreeExplainer  # noqa: E402
 from repro.ml.boosting import GradientBoostingRegressor  # noqa: E402
 
-RESULTS_DIR = Path(__file__).parent / "results"
 JOBS = (1, 2, 4)
 
 
@@ -108,15 +111,7 @@ BENCHES = {
 
 
 def main() -> int:
-    payload = {
-        "schema": 1,
-        "cpu_count": os.cpu_count(),
-        "jobs": list(JOBS),
-        "note": ("speedup is bounded by cpu_count; on a single-core "
-                 "host the parallel path only demonstrates overhead "
-                 "and determinism, not scaling"),
-        "benchmarks": {},
-    }
+    benchmarks = {}
     for name, bench in BENCHES.items():
         timings = {}
         reference = None
@@ -133,7 +128,7 @@ def main() -> int:
                 identical = identical and bool(same)
         speedup = (timings["1"] / timings[str(JOBS[-1])]
                    if timings[str(JOBS[-1])] else float("nan"))
-        payload["benchmarks"][name] = {
+        benchmarks[name] = {
             "seconds": timings,
             "speedup_vs_serial": round(speedup, 2),
             "deterministic": identical,
@@ -141,9 +136,13 @@ def main() -> int:
         print(f"{name:14s} " + "  ".join(
             f"n_jobs={j}: {timings[str(j)]:7.3f}s" for j in JOBS
         ) + f"  identical={identical}")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_parallel.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench(
+        "parallel", benchmarks,
+        cpu_count=os.cpu_count(), jobs=list(JOBS),
+        note=("speedup is bounded by cpu_count; on a single-core "
+              "host the parallel path only demonstrates overhead "
+              "and determinism, not scaling"),
+    )
     print(f"wrote {out}")
     return 0
 

@@ -29,7 +29,6 @@ dependent)::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -39,12 +38,16 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+try:
+    from benchmarks._emit import write_bench
+except ImportError:  # run directly: benchmarks/ is sys.path[0]
+    from _emit import write_bench
+
 from repro.ml.boosting import GradientBoostingRegressor  # noqa: E402
 from repro.ml.compiled import compile_ensemble, use_predictor  # noqa: E402
 from repro.ml.forest import RandomForestRegressor  # noqa: E402
 from repro.ml.importance import permutation_importance  # noqa: E402
 
-RESULTS_DIR = Path(__file__).parent / "results"
 REPEATS = 3
 
 
@@ -175,16 +178,7 @@ def bench_hist_binned(models, X, y):
 def main() -> int:
     X, y = _data()
     models = _models(X, y)
-    payload = {
-        "schema": 1,
-        "cpu_count": os.cpu_count(),
-        "n_jobs": 1,
-        "note": ("fits happen outside all timers — only prediction-side "
-                 "work is measured; compiled-vs-naive ratios are "
-                 "algorithmic (serial, single process) and comparable "
-                 "across hosts, absolute seconds are not"),
-        "benchmarks": {},
-    }
+    benchmarks = {}
     benches = {
         "pfi_stage": bench_pfi_stage,
         "improvement_scoring": bench_improvement_scoring,
@@ -193,15 +187,15 @@ def main() -> int:
     }
     for name, bench in benches.items():
         result = bench(models, X, y)
-        payload["benchmarks"][name] = result
+        benchmarks[name] = result
         line = "  ".join(f"{key}={value}" for key, value in result.items())
         print(f"{name:20s} {line}")
 
-    pfi = payload["benchmarks"]["pfi_stage"]
-    eval_ = payload["benchmarks"]["improvement_scoring"]
+    pfi = benchmarks["pfi_stage"]
+    eval_ = benchmarks["improvement_scoring"]
     naive_total = pfi["naive_s"] + eval_["naive_s"]
     compiled_total = pfi["compiled_s"] + eval_["compiled_s"]
-    payload["benchmarks"]["pfi_plus_eval"] = {
+    benchmarks["pfi_plus_eval"] = {
         "naive_s": round(naive_total, 4),
         "compiled_s": round(compiled_total, 4),
         "speedup_compiled": round(naive_total / compiled_total, 2)
@@ -209,11 +203,16 @@ def main() -> int:
     }
     print(f"{'pfi_plus_eval':20s} "
           f"speedup_compiled="
-          f"{payload['benchmarks']['pfi_plus_eval']['speedup_compiled']}")
+          f"{benchmarks['pfi_plus_eval']['speedup_compiled']}")
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_predict.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    out = write_bench(
+        "predict", benchmarks,
+        cpu_count=os.cpu_count(), n_jobs=1,
+        note=("fits happen outside all timers — only prediction-side "
+              "work is measured; compiled-vs-naive ratios are "
+              "algorithmic (serial, single process) and comparable "
+              "across hosts, absolute seconds are not"),
+    )
     print(f"wrote {out}")
     return 0
 

@@ -11,16 +11,22 @@ Each bench also *measures* a representative computation with
 pytest-benchmark, so ``--benchmark-only`` runs double as a performance
 regression harness for the library.
 
-At session end the harness writes ``results/BENCH_obs.json``: each
-benchmark test's wall-time plus the bench run's span aggregates and
-metrics from :mod:`repro.obs` — the machine-readable performance
-trajectory later perf PRs regress against.
+At session end the harness writes ``results/BENCH_obs.json`` through
+the shared :mod:`benchmarks._emit` writer (unified
+``{"schema": 1, ..., "benchmarks": {...}}`` shape): each benchmark
+test's wall-time plus the bench run's span aggregates and metrics from
+:mod:`repro.obs` — the machine-readable performance trajectory
+``repro bench check`` regresses against.
 """
 
-import json
 from pathlib import Path
 
 import pytest
+
+try:
+    from benchmarks._emit import write_bench
+except ImportError:  # invoked with benchmarks/ as the rootdir
+    from _emit import write_bench
 
 from repro import ExperimentConfig, run_experiment
 from repro.synth import generate_latent_market, generate_universe
@@ -45,25 +51,31 @@ def bench_results(bench_config):
     return results
 
 
+def _bench_name(nodeid: str) -> str:
+    """``.../bench_x.py::test_fig1_top100`` → ``fig1_top100``."""
+    name = nodeid.rsplit("::", 1)[-1]
+    return name[len("test_"):] if name.startswith("test_") else name
+
+
 def pytest_runtest_logreport(report):
     if report.when == "call" and report.passed:
-        _obs["benchmarks"][report.nodeid] = round(report.duration, 4)
+        _obs["benchmarks"][_bench_name(report.nodeid)] = (
+            round(report.duration, 4)
+        )
 
 
 def pytest_sessionfinish(session, exitstatus):
     if not _obs["benchmarks"]:
         return
     summary = _obs["run_summary"]
-    payload = {
-        "schema": 1,
-        "preset": "bench",
-        "benchmarks_s": dict(sorted(_obs["benchmarks"].items())),
+    benchmarks = {
+        name: {"seconds": duration}
+        for name, duration in sorted(_obs["benchmarks"].items())
     }
+    meta = {"preset": "bench"}
     if summary is not None:
-        payload["experiment"] = summary.to_dict()
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_obs.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        meta["experiment"] = summary.to_dict()
+    write_bench("obs", benchmarks, **meta)
 
 
 @pytest.fixture(scope="session")

@@ -19,6 +19,13 @@ Commands
     Run the experiment twice — clean, then under a fault plan with a
     degradation policy — and print the per-category forecast-MSE
     degradation table (see :mod:`repro.resilience`).
+``report``
+    Render the run ledger (``run --ledger`` / ``$REPRO_LEDGER``): run
+    history, one run's per-stage breakdown, or a two-run comparison.
+``bench``
+    Perf-regression gate: ``bench check`` compares fresh BENCH_*.json
+    results against committed baselines (ratio metrics gate with a
+    tolerance; absolute seconds are informational).
 
 Examples::
 
@@ -28,7 +35,11 @@ Examples::
     python -m repro run --preset fast --checkpoint-dir ckpt/
     python -m repro run --preset fast --resume ckpt/
     python -m repro run --preset fast --splitter hist --cache-dir cache/
+    python -m repro run --preset fast --ledger runs.jsonl --profile
     python -m repro chaos --preset fast --chaos-seed 11
+    python -m repro report runs.jsonl --last 10
+    python -m repro report runs.jsonl --run 1a2b3c4d
+    python -m repro bench check --results /tmp/bench --tolerance 0.3
     python -m repro trace-summary t.jsonl
     python -m repro index --seed 7
 """
@@ -54,11 +65,17 @@ from .core.reporting import (
 )
 from .frame.io import write_csv
 from .obs import (
+    RunLedger,
+    check_bench_dirs,
     configure_logging,
     format_runtime,
     format_slowest,
     format_stage_table,
     read_jsonl,
+    render_bench_check,
+    render_compare,
+    render_history,
+    render_record,
     write_jsonl,
 )
 from .obs.trace import Span
@@ -176,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="policy for sources that stay bad "
                           "(default: abort)")
+    run.add_argument("--ledger", type=Path, default=None, metavar="PATH",
+                     help="append a run record (fingerprint, cache keys, "
+                          "stage timings, metrics) to this JSONL ledger "
+                          "(default: $REPRO_LEDGER if set)")
+    run.add_argument("--profile", action="store_true",
+                     help="resource-profile every stage span (CPU time, "
+                          "tracemalloc peak, max-RSS, GC passes); also "
+                          "enabled by REPRO_PROFILE=1")
 
     chaos = sub.add_parser(
         "chaos",
@@ -202,6 +227,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the degradation table here")
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress progress logging")
+    chaos.add_argument("--ledger", type=Path, default=None, metavar="PATH",
+                       help="append one chaos record to this JSONL "
+                            "ledger (default: $REPRO_LEDGER if set)")
+
+    report = sub.add_parser(
+        "report",
+        help="render the run ledger written by 'run --ledger'",
+    )
+    report.add_argument("ledger", type=Path, nargs="?", default=None,
+                        help="the ledger JSONL file "
+                             "(default: $REPRO_LEDGER)")
+    report.add_argument("--last", type=_positive_int, default=None,
+                        metavar="N", help="only the N newest records")
+    report.add_argument("--kind", choices=("run", "chaos", "bench"),
+                        default=None, help="filter by record kind")
+    report.add_argument("--run", default=None, metavar="ID",
+                        help="full detail (stage breakdown, counters) "
+                             "for one run id (prefix accepted)")
+    report.add_argument("--compare", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="stage-by-stage comparison of two run ids")
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-regression gate over BENCH_*.json artefacts",
+    )
+    bench.add_argument("action", choices=("check",),
+                       help="'check': compare fresh results against "
+                            "committed baselines")
+    bench.add_argument("--results", type=Path, default=None, metavar="DIR",
+                       help="directory of fresh BENCH_*.json files "
+                            "(default: $REPRO_BENCH_DIR)")
+    bench.add_argument("--baseline", type=Path,
+                       default=Path("benchmarks/results"), metavar="DIR",
+                       help="directory of committed baselines "
+                            "(default: benchmarks/results)")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="relative slack for gating speedup ratios "
+                            "(default: 0.25 = fail below 75%% of "
+                            "baseline)")
+    bench.add_argument("--verbose", action="store_true",
+                       help="also list informational (non-gating) "
+                            "metrics")
 
     index = sub.add_parser(
         "index", help="Crypto100 scaling-factor analysis"
@@ -334,6 +402,11 @@ def _cmd_run(args) -> int:
         config = dataclasses.replace(config, splitter=args.splitter)
     if args.predictor is not None:
         config = dataclasses.replace(config, predictor=args.predictor)
+    if args.profile:
+        config = dataclasses.replace(config, profile=True)
+
+    ledger_path = args.ledger if args.ledger is not None \
+        else os.environ.get("REPRO_LEDGER") or None
 
     cache_dir = None
     if not args.no_cache:
@@ -343,6 +416,8 @@ def _cmd_run(args) -> int:
     # with a narrower signature keep working when no cache is requested.
     cache_kwargs = {"cache_dir": str(cache_dir)} \
         if cache_dir is not None else {}
+    if ledger_path is not None:
+        cache_kwargs["ledger_path"] = str(ledger_path)
 
     checkpoint_dir = args.resume if args.resume is not None \
         else args.checkpoint_dir
@@ -401,7 +476,14 @@ def _cmd_chaos(args) -> int:
     if args.save_plan is not None:
         path = plan.save(args.save_plan)
         print(f"fault plan written to {path}")
-    report = run_chaos(config, plan, policy=args.degradation)
+    ledger_path = args.ledger if args.ledger is not None \
+        else os.environ.get("REPRO_LEDGER") or None
+    # Conditional kwarg so callers that wrap run_chaos with a narrower
+    # signature keep working when no ledger is requested.
+    ledger_kwargs = {"ledger_path": str(ledger_path)} \
+        if ledger_path is not None else {}
+    report = run_chaos(config, plan, policy=args.degradation,
+                       **ledger_kwargs)
     table = render_chaos_table(report)
     print(table)
     if args.report is not None:
@@ -409,6 +491,60 @@ def _cmd_chaos(args) -> int:
         args.report.write_text(table + "\n")
         print(f"\nreport written to {args.report}")
     return 0
+
+
+def _cmd_report(args) -> int:
+    path = args.ledger if args.ledger is not None \
+        else os.environ.get("REPRO_LEDGER") or None
+    if path is None:
+        print("no ledger given (pass a path or set $REPRO_LEDGER)")
+        return 1
+    ledger = RunLedger(path)
+    records, skipped = ledger.scan()
+    if not records:
+        print(f"no ledger records found in {path}")
+        return 1
+    if args.run is not None:
+        record = ledger.get(args.run)
+        if record is None:
+            print(f"no record with run id {args.run!r} in {path}")
+            return 1
+        print(render_record(record))
+        return 0
+    if args.compare is not None:
+        pair = [ledger.get(run_id) for run_id in args.compare]
+        for run_id, record in zip(args.compare, pair):
+            if record is None:
+                print(f"no record with run id {run_id!r} in {path}")
+                return 1
+        print(render_compare(pair[0], pair[1]))
+        return 0
+    shown = ledger.query(kind=args.kind, limit=args.last)
+    if not shown:
+        print(f"no matching records in {path}")
+        return 1
+    print(render_history(shown))
+    if skipped:
+        print(f"\n({skipped} corrupt line(s) skipped)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    results_dir = args.results if args.results is not None \
+        else os.environ.get("REPRO_BENCH_DIR") or None
+    if results_dir is None:
+        print("no fresh results directory "
+              "(pass --results or set $REPRO_BENCH_DIR)")
+        return 1
+    try:
+        deltas, ok = check_bench_dirs(
+            results_dir, args.baseline, ratio_tolerance=args.tolerance,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"bench check failed to load artefacts: {exc}")
+        return 2
+    print(render_bench_check(deltas, verbose=args.verbose))
+    return 0 if ok else 1
 
 
 def _cmd_trace_summary(args) -> int:
@@ -476,6 +612,8 @@ def main(argv=None) -> int:
         "simulate": _cmd_simulate,
         "run": _cmd_run,
         "chaos": _cmd_chaos,
+        "report": _cmd_report,
+        "bench": _cmd_bench,
         "index": _cmd_index,
         "trace-summary": _cmd_trace_summary,
     }

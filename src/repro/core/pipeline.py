@@ -35,13 +35,21 @@ from ..frame.validation import ColumnRule, validate_frame
 from ..ml.compiled import PREDICTORS, use_predictor
 from ..obs import (
     MetricsRegistry,
+    RunLedger,
+    RunRecord,
     RunSummary,
     Tracer,
     configure_logging,
     get_logger,
+    git_describe,
+    host_info,
     logging_configured,
+    profiled_span,
+    resolve_profiling,
     span,
+    stage_rows,
     use_metrics,
+    use_profiling,
     use_tracer,
 )
 from ..parallel import ItemFailure, ParallelMap, resolve_n_jobs
@@ -123,6 +131,15 @@ class ExperimentConfig:
     loop).  Predictions are bit-identical either way, so this is pure
     execution shape — like ``n_jobs`` it never enters config
     fingerprints or cache keys."""
+
+    profile: bool = False
+    """Opt-in resource profiling (:mod:`repro.obs.profile`): annotate
+    the run's stage spans — parent and worker side — with CPU time,
+    tracemalloc peaks, max-RSS and GC passes.  Pure observation: it
+    never changes results, so like ``n_jobs`` / ``verbose`` /
+    ``predictor`` it is excluded from config fingerprints and cache
+    keys.  ``REPRO_PROFILE=1`` enables it without touching the config
+    (CLI: ``repro run --profile``)."""
 
     verbose: bool = False
     n_jobs: int | None = None
@@ -546,8 +563,13 @@ def _scenario_task(item: tuple, config: ExperimentConfig,
     key, scenario = item
     slog = get_logger("pipeline").bind(scenario=key)
     cache_scope = use_cache(cache) if cache is not None else nullcontext()
+    # use_profiling travels with the pickled config, so worker processes
+    # profile whenever the parent run does (any start method); the
+    # resulting attrs ride the span records merged back by ParallelMap.
+    profile = config.profile or resolve_profiling()
     with cache_scope, use_predictor(config.predictor), \
-            span("pipeline.scenario", scenario=key):
+            use_profiling(profile), \
+            profiled_span("pipeline.scenario", scenario=key):
         slog.info("selection.start", candidates=scenario.n_features)
         selection = select_final_features(
             scenario.X, scenario.y, scenario.feature_names,
@@ -591,7 +613,8 @@ def run_experiment(config: ExperimentConfig | None = None,
                    metrics: MetricsRegistry | None = None,
                    checkpoint_dir: str | None = None,
                    resume: bool = False,
-                   cache_dir: str | None = None
+                   cache_dir: str | None = None,
+                   ledger_path: str | None = None
                    ) -> ExperimentResults:
     """Execute the full study; see the module docstring for the stages.
 
@@ -627,6 +650,14 @@ def run_experiment(config: ExperimentConfig | None = None,
     chaos runs never alias clean runs) and raw data bytes.  A warm
     re-run of the same config short-circuits to cache reads;
     ``cache.hits`` / ``cache.misses`` counters land in the run summary.
+
+    ``ledger_path`` (CLI: ``repro run --ledger``, or the
+    ``REPRO_LEDGER`` environment variable via the CLI) appends one
+    :class:`~repro.obs.RunRecord` to the append-only run ledger when
+    the run finishes: config fingerprint, cache lineage keys, metrics
+    snapshot, per-stage aggregates (with resource columns when
+    ``config.profile`` is on), host info and ``git describe``.  Ledger
+    failures are logged, never raised — a finished run always returns.
     """
     config = config if config is not None else ExperimentConfig.default()
     if config.splitter not in _SPLITTERS:
@@ -651,6 +682,7 @@ def run_experiment(config: ExperimentConfig | None = None,
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
     started = time.perf_counter()
+    started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     tracer = tracer if tracer is not None else Tracer()
     metrics = metrics if metrics is not None else MetricsRegistry()
     if config.verbose and not logging_configured():
@@ -659,9 +691,12 @@ def run_experiment(config: ExperimentConfig | None = None,
     jobs = resolve_n_jobs(config.n_jobs)
     store = CacheStore(cache_dir) if cache_dir is not None else None
     cache_scope = use_cache(store) if store is not None else nullcontext()
+    profile = config.profile or resolve_profiling()
+    dkey = None
 
     with use_tracer(tracer), use_metrics(metrics), cache_scope, \
-            use_predictor(config.predictor), tracer.span("experiment.run"):
+            use_predictor(config.predictor), use_profiling(profile), \
+            profiled_span("experiment.run"):
         degradation_report: DegradationReport | None = None
         if raw is None:
             dkey = None
@@ -717,15 +752,17 @@ def run_experiment(config: ExperimentConfig | None = None,
         metrics.gauge("experiment.scenarios").set(len(scenarios))
 
         fingerprint = None
-        if checkpoint_dir is not None or store is not None:
-            # n_jobs / verbose / predictor can't change results
-            # (determinism + bit-identity contracts), so they don't
-            # participate in the fingerprint: a run killed at --jobs 4
-            # may resume at --jobs 1, and a --predictor naive run may
-            # reuse a compiled run's cache entries.
+        if (checkpoint_dir is not None or store is not None
+                or ledger_path is not None):
+            # n_jobs / verbose / predictor / profile can't change
+            # results (determinism + bit-identity contracts), so they
+            # don't participate in the fingerprint: a run killed at
+            # --jobs 4 may resume at --jobs 1, a --predictor naive run
+            # may reuse a compiled run's cache entries, and a profiled
+            # run's ledger record links to its unprofiled twin.
             fingerprint = config_fingerprint(
                 replace(config, n_jobs=None, verbose=False,
-                        predictor="compiled")
+                        predictor="compiled", profile=False)
             )
 
         checkpoint: RunCheckpoint | None = None
@@ -814,6 +851,48 @@ def run_experiment(config: ExperimentConfig | None = None,
     runtime = time.perf_counter() - started
     log.info("experiment.done", scenarios=len(artifacts),
              failed=len(failures), runtime_s=runtime)
+    if ledger_path is not None:
+        snapshot = metrics.snapshot()
+        cache_info = {
+            name.split(".", 1)[1]: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("cache.")
+        }
+        if dkey is not None:
+            cache_info["dataset_key"] = dkey
+        if store is not None and dataset_digest is not None:
+            cache_info["dataset_digest"] = dataset_digest
+        record = RunRecord(
+            kind="run",
+            status="ok" if not failures else "partial",
+            started_at=started_at,
+            duration_s=round(runtime, 6),
+            fingerprint=fingerprint,
+            seed=config.simulation.seed,
+            resumed=resume,
+            labels={
+                "periods": ",".join(config.periods),
+                "windows": ",".join(str(w) for w in config.windows),
+                "splitter": config.splitter,
+                "jobs": jobs,
+            },
+            cache=cache_info,
+            checkpoint=({"dir": checkpoint_dir}
+                        if checkpoint_dir is not None else {}),
+            stages=stage_rows(tracer.spans),
+            metrics=snapshot,
+            host=host_info(),
+            git=git_describe(),
+            extra={"scenarios": len(artifacts),
+                   "failures": sorted(failures)},
+        )
+        try:
+            RunLedger(ledger_path).append(record)
+        except OSError as exc:
+            # The experiment finished; a broken ledger must not
+            # retroactively fail it.
+            log.warning("ledger.append_failed", path=ledger_path,
+                        error=str(exc))
     return ExperimentResults(
         config=config,
         raw=raw,

@@ -1,4 +1,4 @@
-"""Observability substrate: structured logging, span tracing, metrics.
+"""Observability substrate: logging, tracing, metrics, ledger, export.
 
 ``repro.obs`` is the zero-dependency (stdlib-only) telemetry layer the
 experiment pipeline reports through:
@@ -12,10 +12,23 @@ experiment pipeline reports through:
   wraps every stage (dataset synthesis, scenario construction, FRA
   iterations, SHAP, improvement studies) in spans.
 * :mod:`repro.obs.metrics` — a registry of counters, gauges and
-  histograms with a ``snapshot()`` → dict API.
+  histograms with ``snapshot()`` summaries and lossless
+  ``dump()``/``merge()`` exchange.
+* :mod:`repro.obs.profile` — opt-in resource profiling
+  (:func:`profiled_span`: tracemalloc peak/current, ``getrusage`` CPU
+  and max-RSS, GC passes) riding ordinary span attrs, enabled via
+  :func:`use_profiling` / ``REPRO_PROFILE`` / ``repro run --profile``.
 * :mod:`repro.obs.summary` — :class:`RunSummary`, the per-run bundle of
   spans + metrics attached to ``ExperimentResults.run_summary`` and
   rendered by reports and ``repro trace-summary``.
+* :mod:`repro.obs.ledger` — :class:`RunLedger`, the append-only JSONL
+  record every run/chaos/bench invocation appends to, with query and
+  compare helpers behind ``repro report``.
+* :mod:`repro.obs.export` — Prometheus text exposition and a lossless
+  metrics JSONL sink for :class:`MetricsRegistry`.
+* :mod:`repro.obs.bench` — the perf-regression gate comparing fresh
+  ``BENCH_*.json`` artefacts to committed baselines
+  (``repro bench check``).
 
 Quick tour::
 
@@ -28,6 +41,32 @@ Quick tour::
     tracer.export("trace.jsonl")
 """
 
+from .bench import (
+    BenchDelta,
+    check_bench_dirs,
+    compare_benchmarks,
+    load_bench,
+    load_bench_dir,
+    render_bench_check,
+)
+from .export import (
+    append_metrics_jsonl,
+    parse_prometheus,
+    prometheus_text,
+    read_metrics_jsonl,
+    sanitize_metric_name,
+)
+from .ledger import (
+    RunLedger,
+    RunRecord,
+    compare_records,
+    git_describe,
+    host_info,
+    render_compare,
+    render_history,
+    render_record,
+    stage_rows,
+)
 from .log import (
     JsonFormatter,
     KeyValueFormatter,
@@ -43,12 +82,22 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     current_metrics,
+    percentile_of,
     set_current_metrics,
     use_metrics,
+)
+from .profile import (
+    PROFILE_ATTRS,
+    profiled_span,
+    profiling_enabled,
+    resolve_profiling,
+    set_profiling,
+    use_profiling,
 )
 from .summary import (
     RunSummary,
     aggregate_spans,
+    format_memory,
     format_runtime,
     format_slowest,
     format_stage_table,
@@ -67,33 +116,61 @@ from .trace import (
 )
 
 __all__ = [
+    "BenchDelta",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonFormatter",
     "KeyValueFormatter",
     "MetricsRegistry",
+    "PROFILE_ATTRS",
+    "RunLedger",
+    "RunRecord",
     "RunSummary",
     "Span",
     "StructuredLogger",
     "Tracer",
     "aggregate_spans",
+    "append_metrics_jsonl",
+    "check_bench_dirs",
+    "compare_benchmarks",
+    "compare_records",
     "configure_logging",
     "current_metrics",
     "current_tracer",
+    "format_memory",
     "format_runtime",
     "format_slowest",
     "format_stage_table",
     "get_logger",
+    "git_describe",
+    "host_info",
+    "load_bench",
+    "load_bench_dir",
     "logging_configured",
+    "parse_prometheus",
+    "percentile_of",
+    "profiled_span",
+    "profiling_enabled",
+    "prometheus_text",
     "read_jsonl",
+    "read_metrics_jsonl",
+    "render_bench_check",
+    "render_compare",
+    "render_history",
+    "render_record",
     "reset_logging",
+    "resolve_profiling",
+    "sanitize_metric_name",
     "set_current_metrics",
     "set_current_tracer",
+    "set_profiling",
     "slowest_spans",
     "span",
     "stage_breakdown",
+    "stage_rows",
     "use_metrics",
+    "use_profiling",
     "use_tracer",
     "write_jsonl",
 ]

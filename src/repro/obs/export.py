@@ -1,0 +1,232 @@
+"""Metric exposition: Prometheus text format and a JSONL sink.
+
+Two exchange surfaces for :class:`repro.obs.MetricsRegistry`:
+
+* :func:`prometheus_text` renders counters, gauges, and histogram
+  summaries in the Prometheus text exposition format (version 0.0.4) —
+  the interface the planned HTTP serving layer will mount.  Dotted
+  metric names (``cache.hits``) are sanitised to legal Prometheus
+  names (``cache_hits``); the original dotted name rides the ``# HELP``
+  line so :func:`parse_prometheus` can invert the rendering exactly.
+  Histograms are exposed as Prometheus *summaries*: quantiles 0 / 0.5 /
+  0.9 / 0.99 / 1 plus ``_count`` and ``_sum``.
+* :func:`append_metrics_jsonl` appends one lossless
+  :meth:`~repro.obs.MetricsRegistry.dump` line (raw histogram
+  observations, not summaries) with optional metadata, so scraping a
+  long-running sweep and merging shards back into one registry loses
+  nothing.  :func:`read_metrics_jsonl` reads the lines back, skipping
+  torn trailing lines like the run ledger does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "append_metrics_jsonl",
+    "parse_prometheus",
+    "prometheus_text",
+    "read_metrics_jsonl",
+    "sanitize_metric_name",
+]
+
+#: Quantiles exposed for each histogram summary, in exposition order.
+_QUANTILES = (0.0, 0.5, 0.9, 0.99, 1.0)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A legal Prometheus metric name for a dotted repro metric name."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    from .metrics import percentile_of
+    return percentile_of(ordered, q * 100.0)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Every metric gets ``# HELP <sanitised> repro metric <dotted>`` and a
+    ``# TYPE`` line; histogram values are summarised on the fly (one
+    sorted snapshot per histogram).
+    """
+    dump = registry.dump()
+    lines: list[str] = []
+    for name, value in dump["counters"].items():
+        prom = sanitize_metric_name(name)
+        lines.append(f"# HELP {prom} repro metric {name}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt_value(value)}")
+    for name, value in dump["gauges"].items():
+        prom = sanitize_metric_name(name)
+        lines.append(f"# HELP {prom} repro metric {name}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt_value(value)}")
+    for name, values in dump["histograms"].items():
+        prom = sanitize_metric_name(name)
+        lines.append(f"# HELP {prom} repro metric {name}")
+        lines.append(f"# TYPE {prom} summary")
+        ordered = sorted(values)
+        for q in _QUANTILES:
+            if ordered:
+                quantile_value = _percentile(ordered, q)
+                lines.append(
+                    f'{prom}{{quantile="{q}"}} '
+                    f"{_fmt_value(quantile_value)}"
+                )
+        lines.append(f"{prom}_count {len(ordered)}")
+        lines.append(f"{prom}_sum {_fmt_value(sum(ordered))}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Invert :func:`prometheus_text` back to a structured dict.
+
+    Returns ``{"counters": {dotted: value}, "gauges": {...},
+    "histograms": {dotted: {"count", "sum", "mean", "quantiles":
+    {q: value}}}}`` keyed by the original dotted names recovered from
+    the ``# HELP`` lines.  Only text produced by :func:`prometheus_text`
+    (or equivalent HELP conventions) round-trips the dotted names;
+    other exporters' samples parse under their sanitised names.
+    """
+    help_names: dict[str, str] = {}
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            prom, _, help_text = rest.partition(" ")
+            match = re.match(r"repro metric (\S+)$", help_text)
+            help_names[prom] = match.group(1) if match else prom
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            prom, _, kind = rest.partition(" ")
+            types[prom] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = re.match(
+            r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+            r"(?:\{([^}]*)\})?\s+(\S+)$", line,
+        )
+        if not match:
+            continue
+        prom, label_text, value_text = match.groups()
+        labels = {}
+        if label_text:
+            for pair in re.finditer(
+                    r'(\w+)="((?:[^"\\]|\\.)*)"', label_text):
+                labels[pair.group(1)] = pair.group(2)
+        samples.setdefault(prom, []).append(
+            (labels, float(value_text))
+        )
+
+    out = {"counters": {}, "gauges": {}, "histograms": {}}
+    summary_parts: dict[str, dict] = {}
+    for prom, entries in samples.items():
+        base = prom
+        part = None
+        if prom.endswith("_count") and types.get(prom[:-6]) == "summary":
+            base, part = prom[:-6], "count"
+        elif prom.endswith("_sum") and types.get(prom[:-4]) == "summary":
+            base, part = prom[:-4], "sum"
+        kind = types.get(base, "gauge")
+        name = help_names.get(base, base)
+        if kind == "summary":
+            summary = summary_parts.setdefault(
+                base, {"name": name, "count": 0, "sum": 0.0,
+                       "quantiles": {}},
+            )
+            for labels, value in entries:
+                if part in ("count", "sum"):
+                    summary[part] = value
+                elif "quantile" in labels:
+                    summary["quantiles"][float(labels["quantile"])] = value
+        elif kind == "counter":
+            value = entries[-1][1]
+            out["counters"][name] = (
+                int(value) if value == int(value) else value
+            )
+        else:
+            out["gauges"][name] = entries[-1][1]
+    for summary in summary_parts.values():
+        name = summary.pop("name")
+        count = summary["count"]
+        summary["count"] = int(count)
+        summary["mean"] = (summary["sum"] / count) if count else 0.0
+        out["histograms"][name] = summary
+    return out
+
+
+# ----------------------------------------------------------------------
+def append_metrics_jsonl(registry: MetricsRegistry, path,
+                         meta: dict | None = None) -> dict:
+    """Append one lossless registry dump to a JSONL sink.
+
+    The line is ``{"meta": {...}, "metrics": registry.dump()}`` written
+    through an ``O_APPEND`` descriptor with fsync (same durability
+    contract as the run ledger).  Returns the payload written.
+    """
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"meta": dict(meta or {}), "metrics": registry.dump()}
+    line = json.dumps(payload, sort_keys=True) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return payload
+
+
+def read_metrics_jsonl(path) -> list[dict]:
+    """Parseable lines from a metrics JSONL sink, oldest first.
+
+    Torn or corrupt lines (e.g. a writer killed mid-append) are
+    skipped, mirroring the ledger's read tolerance.  Each returned
+    item's ``"metrics"`` value feeds straight into
+    :meth:`~repro.obs.MetricsRegistry.merge`.
+    """
+    path = Path(path)
+    out: list[dict] = []
+    try:
+        handle = path.open()
+    except FileNotFoundError:
+        return []
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(payload, dict) and "metrics" in payload:
+                out.append(payload)
+    return out

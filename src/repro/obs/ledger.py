@@ -1,0 +1,468 @@
+"""The run ledger: a durable, append-only JSONL record of every run.
+
+The paper's headline claim rests on comparing many experiment runs;
+:class:`RunLedger` is the persistent record that keeps those runs
+comparable.  Every ``run_experiment``, chaos run, and benchmark appends
+one :class:`RunRecord` — config fingerprint, cache lineage keys,
+metrics snapshot, per-stage span aggregates (with resource-profile
+columns when :mod:`repro.obs.profile` was enabled), host/env info and
+``git describe`` — to one JSON-lines file.
+
+Appends are durable and crash-tolerant: each record is a single
+``write`` to an ``O_APPEND`` descriptor followed by ``fsync``, so a
+killed run can at worst leave one torn trailing line, which readers
+skip.  Two runs of the same configuration link naturally through their
+``fingerprint`` and cache ``dataset_key`` fields — a warm re-run
+addresses the same artifacts as the cold run that produced them — and
+resumed runs carry ``resumed=True`` plus the checkpoint fingerprint.
+
+Query and comparison helpers (:meth:`RunLedger.query`,
+:meth:`RunLedger.latest`, :func:`compare_records`) plus the renderers
+behind the ``repro report`` CLI command live here too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .log import get_logger
+from .profile import PROFILE_ATTRS
+from .summary import aggregate_spans, format_memory, format_runtime
+
+__all__ = [
+    "RunLedger",
+    "RunRecord",
+    "compare_records",
+    "git_describe",
+    "host_info",
+    "render_compare",
+    "render_history",
+    "render_record",
+    "stage_rows",
+]
+
+_log = get_logger("obs")
+
+#: Stage-aggregate columns persisted per record (subset of
+#: :func:`repro.obs.summary.aggregate_spans` output).
+_STAGE_FIELDS = ("count", "total_s", "self_s", "max_s")
+
+
+def host_info() -> dict:
+    """Where a run executed: platform, python, CPU count, host, pid."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "hostname": socket.gethostname(),
+        "pid": os.getpid(),
+    }
+
+
+def git_describe(directory=None) -> str | None:
+    """``git describe --always --dirty`` of the source tree, or None.
+
+    Best-effort provenance: a missing git binary, a non-repo checkout,
+    or any subprocess hiccup degrades to ``None`` rather than failing
+    the run that asked to be recorded.
+    """
+    cwd = Path(directory) if directory is not None \
+        else Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def stage_rows(spans) -> dict[str, dict]:
+    """Per-span-name aggregates ready to persist in a ledger record.
+
+    Wall-time stats come from :func:`aggregate_spans`; when profiling
+    attrs are present on the spans, each stage row additionally carries
+    the summed ``cpu_s`` / ``gc_collections`` and the max of the memory
+    columns across that stage's spans.
+    """
+    stats = aggregate_spans(spans)
+    rows = {
+        name: {key: entry[key] for key in _STAGE_FIELDS}
+        for name, entry in stats.items()
+    }
+    for record in spans:
+        row = rows[record.name]
+        for attr in PROFILE_ATTRS:
+            value = record.attrs.get(attr)
+            if value is None:
+                continue
+            if attr in ("cpu_s", "gc_collections"):
+                row[attr] = round(row.get(attr, 0) + value, 6)
+            else:
+                row[attr] = max(row.get(attr, 0.0), value)
+    return rows
+
+
+@dataclass
+class RunRecord:
+    """One ledger line: everything needed to compare runs later."""
+
+    kind: str
+    """``"run"``, ``"chaos"``, or ``"bench"``."""
+
+    status: str = "ok"
+    """``"ok"``, ``"partial"`` (some scenarios failed), or ``"failed"``."""
+
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    started_at: str = ""
+    """ISO-8601 UTC wall-clock time the run began."""
+
+    duration_s: float = 0.0
+    fingerprint: str | None = None
+    """Config fingerprint — the same digest checkpoint/cache layers use,
+    so records of identical configurations link across sessions."""
+
+    seed: int | None = None
+    resumed: bool = False
+    labels: dict = field(default_factory=dict)
+    """Free-form discriminators (preset, policy, bench name, ...)."""
+
+    cache: dict = field(default_factory=dict)
+    """Cache lineage: ``dataset_key`` / ``dataset_digest`` plus the
+    run's hit/miss/write counters.  Cold and warm runs of one config
+    share the same keys — that is the cross-run link."""
+
+    checkpoint: dict = field(default_factory=dict)
+    stages: dict = field(default_factory=dict)
+    """Per-span-name aggregates (see :func:`stage_rows`)."""
+
+    metrics: dict = field(default_factory=dict)
+    """The run's :meth:`~repro.obs.MetricsRegistry.snapshot`."""
+
+    host: dict = field(default_factory=dict)
+    git: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (one ledger line)."""
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "status": self.status,
+            "started_at": self.started_at,
+            "duration_s": self.duration_s,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "resumed": self.resumed,
+            "labels": dict(self.labels),
+            "cache": dict(self.cache),
+            "checkpoint": dict(self.checkpoint),
+            "stages": dict(self.stages),
+            "metrics": dict(self.metrics),
+            "host": dict(self.host),
+            "git": self.git,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        """Inverse of :meth:`to_dict`; tolerant of absent fields."""
+        return cls(
+            kind=payload["kind"],
+            status=payload.get("status", "ok"),
+            run_id=payload.get("run_id", ""),
+            started_at=payload.get("started_at", ""),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            fingerprint=payload.get("fingerprint"),
+            seed=payload.get("seed"),
+            resumed=bool(payload.get("resumed", False)),
+            labels=dict(payload.get("labels", {})),
+            cache=dict(payload.get("cache", {})),
+            checkpoint=dict(payload.get("checkpoint", {})),
+            stages=dict(payload.get("stages", {})),
+            metrics=dict(payload.get("metrics", {})),
+            host=dict(payload.get("host", {})),
+            git=payload.get("git"),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    @classmethod
+    def started_now(cls, kind: str, **kwargs) -> "RunRecord":
+        """A record stamped with the current UTC wall-clock time."""
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        return cls(kind=kind, started_at=stamp, **kwargs)
+
+
+class RunLedger:
+    """Append-only JSONL store of :class:`RunRecord` lines."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunLedger({str(self.path)!r})"
+
+    # ------------------------------------------------------------------
+    def append(self, record: RunRecord) -> RunRecord:
+        """Durably append one record (single write + fsync).
+
+        ``O_APPEND`` makes concurrent appenders interleave at line
+        granularity; the fsync makes the record survive the process
+        dying right after.  A kill *mid*-write can tear at most the
+        final line, which :meth:`scan` skips.
+        """
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        _log.debug("ledger.append", path=str(self.path),
+                   run_id=record.run_id, kind=record.kind)
+        return record
+
+    # ------------------------------------------------------------------
+    def scan(self) -> tuple[list[RunRecord], int]:
+        """(records, skipped_lines) — tolerant of torn/corrupt lines."""
+        records: list[RunRecord] = []
+        skipped = 0
+        try:
+            handle = self.path.open()
+        except FileNotFoundError:
+            return [], 0
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    records.append(RunRecord.from_dict(payload))
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    skipped += 1
+        if skipped:
+            _log.warning("ledger.skipped_lines", path=str(self.path),
+                         skipped=skipped)
+        return records, skipped
+
+    def records(self) -> list[RunRecord]:
+        """Every parseable record, oldest first."""
+        return self.scan()[0]
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def query(self, kind: str | None = None,
+              fingerprint: str | None = None,
+              status: str | None = None,
+              limit: int | None = None) -> list[RunRecord]:
+        """Filtered records, oldest first; ``limit`` keeps the newest."""
+        out = [
+            record for record in self.records()
+            if (kind is None or record.kind == kind)
+            and (fingerprint is None or record.fingerprint == fingerprint)
+            and (status is None or record.status == status)
+        ]
+        if limit is not None:
+            if limit < 1:
+                raise ValueError("limit must be >= 1 (or None)")
+            out = out[-limit:]
+        return out
+
+    def latest(self, kind: str | None = None,
+               fingerprint: str | None = None) -> RunRecord | None:
+        """The newest matching record, or None."""
+        matches = self.query(kind=kind, fingerprint=fingerprint)
+        return matches[-1] if matches else None
+
+    def get(self, run_id: str) -> RunRecord | None:
+        """The record with ``run_id`` (prefix match), or None."""
+        for record in self.records():
+            if record.run_id == run_id \
+                    or record.run_id.startswith(run_id):
+                return record
+        return None
+
+
+# ----------------------------------------------------------------------
+def compare_records(a: RunRecord, b: RunRecord) -> dict:
+    """Stage-by-stage comparison of two runs (``b`` relative to ``a``).
+
+    Returns ``{"duration": {...}, "stages": {name: {"a_s", "b_s",
+    "ratio"}}}`` where ``ratio`` is ``b/a`` total seconds (``None``
+    when the stage ran in only one record).  The cold-vs-warm cache
+    demo and perf triage both read this.
+    """
+    stages: dict[str, dict] = {}
+    names = list(dict.fromkeys([*a.stages, *b.stages]))
+    for name in names:
+        a_s = a.stages.get(name, {}).get("total_s")
+        b_s = b.stages.get(name, {}).get("total_s")
+        ratio = (b_s / a_s) if a_s and b_s is not None else None
+        stages[name] = {
+            "a_s": a_s,
+            "b_s": b_s,
+            "ratio": round(ratio, 4) if ratio is not None else None,
+        }
+    duration_ratio = (b.duration_s / a.duration_s
+                      if a.duration_s else None)
+    return {
+        "duration": {
+            "a_s": a.duration_s,
+            "b_s": b.duration_s,
+            "ratio": (round(duration_ratio, 4)
+                      if duration_ratio is not None else None),
+        },
+        "stages": stages,
+    }
+
+
+# ----------------------------------------------------------------------
+# Renderers for the ``repro report`` CLI command.
+# ----------------------------------------------------------------------
+def _table(headers: tuple, rows: list[tuple]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_history(records: list[RunRecord]) -> str:
+    """The run-history table: one line per ledger record."""
+    if not records:
+        return "ledger is empty"
+    headers = ("run", "kind", "status", "when", "duration",
+               "label", "cache", "peak-rss")
+    rows = []
+    for record in records:
+        label = " ".join(
+            f"{k}={v}" for k, v in sorted(record.labels.items())
+        ) or "-"
+        hits = record.cache.get("hits")
+        cache = (f"{hits} hits" if hits is not None else "-")
+        if record.resumed:
+            cache += " (resumed)"
+        rss = max(
+            (row.get("max_rss_kb") for row in record.stages.values()
+             if row.get("max_rss_kb") is not None),
+            default=None,
+        )
+        rows.append((
+            record.run_id[:8],
+            record.kind,
+            record.status,
+            record.started_at or "-",
+            format_runtime(record.duration_s),
+            label,
+            cache,
+            format_memory(rss),
+        ))
+    return _table(headers, rows)
+
+
+def render_record(record: RunRecord) -> str:
+    """One run's detail: header lines + per-stage wall/memory table."""
+    lines = [
+        f"run {record.run_id}  kind={record.kind}  "
+        f"status={record.status}  started={record.started_at or '-'}",
+        f"duration {format_runtime(record.duration_s)}"
+        + (f"  seed={record.seed}" if record.seed is not None else "")
+        + (f"  git={record.git}" if record.git else "")
+        + ("  resumed" if record.resumed else ""),
+    ]
+    if record.fingerprint:
+        lines.append(f"fingerprint {record.fingerprint}")
+    if record.cache:
+        parts = [f"{k}={v}" for k, v in sorted(record.cache.items())]
+        lines.append("cache " + " ".join(parts))
+    if record.stages:
+        profiled = any(
+            "mem_peak_kb" in row or "cpu_s" in row
+            for row in record.stages.values()
+        )
+        headers = ("stage", "count", "total", "max")
+        if profiled:
+            headers += ("cpu", "peak-mem", "max-rss")
+        rows = []
+        ordered = sorted(
+            record.stages.items(),
+            key=lambda kv: -kv[1].get("total_s", 0.0),
+        )
+        for name, row in ordered:
+            cells = (
+                name,
+                str(row.get("count", 0)),
+                format_runtime(row.get("total_s", 0.0)),
+                format_runtime(row.get("max_s", 0.0)),
+            )
+            if profiled:
+                cpu = row.get("cpu_s")
+                cells += (
+                    format_runtime(cpu) if cpu is not None else "-",
+                    format_memory(row.get("mem_peak_kb")),
+                    format_memory(row.get("max_rss_kb")),
+                )
+            rows.append(cells)
+        lines.append("")
+        lines.append(_table(headers, rows))
+    counters = record.metrics.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {int(counters[name])}")
+    return "\n".join(lines)
+
+
+def render_compare(a: RunRecord, b: RunRecord) -> str:
+    """Rendered :func:`compare_records` table (``b`` relative to ``a``)."""
+    comparison = compare_records(a, b)
+    duration = comparison["duration"]
+    lines = [
+        f"comparing {a.run_id[:8]} ({a.kind}, {a.started_at or '-'}) "
+        f"→ {b.run_id[:8]} ({b.kind}, {b.started_at or '-'})",
+        f"duration {format_runtime(duration['a_s'])} → "
+        f"{format_runtime(duration['b_s'])}"
+        + (f"  ({duration['ratio']:.2f}x)"
+           if duration["ratio"] is not None else ""),
+        "",
+    ]
+    headers = ("stage", "a", "b", "ratio")
+    rows = []
+    for name, row in comparison["stages"].items():
+        rows.append((
+            name,
+            format_runtime(row["a_s"]) if row["a_s"] is not None else "-",
+            format_runtime(row["b_s"]) if row["b_s"] is not None else "-",
+            f"{row['ratio']:.2f}x" if row["ratio"] is not None else "-",
+        ))
+    lines.append(_table(headers, rows))
+    return "\n".join(lines)

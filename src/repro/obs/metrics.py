@@ -28,6 +28,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "current_metrics",
+    "percentile_of",
     "set_current_metrics",
     "use_metrics",
 ]
@@ -84,6 +85,19 @@ class Gauge:
             return self._value
 
 
+def percentile_of(ordered: list[float], p: float) -> float:
+    """Linear-interpolated percentile over an already-sorted list."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    if not ordered:
+        raise ValueError("cannot take a percentile of no values")
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
 class Histogram:
     """A distribution of observed values with percentile queries."""
 
@@ -119,26 +133,27 @@ class Histogram:
             if not self._values:
                 raise ValueError(f"histogram {self.name!r} is empty")
             ordered = sorted(self._values)
-        rank = (p / 100.0) * (len(ordered) - 1)
-        low = int(rank)
-        high = min(low + 1, len(ordered) - 1)
-        frac = rank - low
-        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+        return percentile_of(ordered, p)
 
     def summary(self) -> dict:
-        """count/min/max/mean/p50/p90/p99 as a plain dict."""
+        """count/min/max/mean/p50/p90/p99 as a plain dict.
+
+        Computed from one snapshot taken under the lock and sorted once,
+        so every field describes the same set of observations even while
+        concurrent ``observe()`` calls keep landing.
+        """
         with self._lock:
-            values = list(self._values)
-        if not values:
+            ordered = sorted(self._values)
+        if not ordered:
             return {"count": 0}
         return {
-            "count": len(values),
-            "min": min(values),
-            "max": max(values),
-            "mean": sum(values) / len(values),
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": percentile_of(ordered, 50),
+            "p90": percentile_of(ordered, 90),
+            "p99": percentile_of(ordered, 99),
         }
 
 

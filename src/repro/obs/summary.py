@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .profile import PROFILE_ATTRS
 from .trace import Span
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "aggregate_spans",
     "stage_breakdown",
     "slowest_spans",
+    "format_memory",
     "format_runtime",
     "format_stage_table",
     "format_slowest",
@@ -38,6 +40,19 @@ def format_runtime(seconds: float) -> str:
         return f"{seconds:.1f}s"
     minutes, rest = divmod(seconds, 60.0)
     return f"{int(minutes)}m {rest:02.0f}s"
+
+
+def format_memory(kb: float | None) -> str:
+    """Human memory size from KiB: ``512KB`` / ``1.5MB`` / ``2.1GB``."""
+    if kb is None:
+        return "-"
+    if kb < 0:
+        raise ValueError("memory size cannot be negative")
+    if kb >= 1024 * 1024:
+        return f"{kb / (1024 * 1024):.1f}GB"
+    if kb >= 1024:
+        return f"{kb / 1024:.1f}MB"
+    return f"{kb:.0f}KB"
 
 
 def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
@@ -67,8 +82,20 @@ def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
             0.0, record.duration - child_time.get(record.span_id, 0.0)
         )
         entry["max_s"] = max(entry["max_s"], record.duration)
+        # Resource-profile attrs (repro.obs.profile) are additive-only:
+        # unprofiled runs keep the original key set.
+        for attr in PROFILE_ATTRS:
+            value = record.attrs.get(attr)
+            if value is None:
+                continue
+            if attr in ("cpu_s", "gc_collections"):
+                entry[attr] = entry.get(attr, 0) + value
+            else:
+                entry[attr] = max(entry.get(attr, 0.0), value)
     for entry in stats.values():
         entry["mean_s"] = entry["total_s"] / entry["count"]
+        if "cpu_s" in entry:
+            entry["cpu_s"] = round(entry["cpu_s"], 6)
     return dict(
         sorted(stats.items(), key=lambda kv: -kv[1]["total_s"])
     )
@@ -105,11 +132,23 @@ def slowest_spans(spans: list[Span], n: int = 10) -> list[Span]:
 
 
 def format_stage_table(spans: list[Span]) -> str:
-    """The aggregate per-span-name table ``trace-summary`` prints."""
+    """The aggregate per-span-name table ``trace-summary`` prints.
+
+    When resource-profiled spans are present (see
+    :mod:`repro.obs.profile`) the table grows ``cpu`` / ``peak-mem`` /
+    ``max-rss`` columns; unprofiled traces render exactly as before.
+    """
     stats = aggregate_spans(spans)
+    profiled = any(
+        "cpu_s" in entry or "mem_peak_kb" in entry
+        for entry in stats.values()
+    )
     headers = ("span", "count", "total", "self", "mean", "max")
-    rows = [
-        (
+    if profiled:
+        headers += ("cpu", "peak-mem", "max-rss")
+    rows = []
+    for name, entry in stats.items():
+        row = (
             name,
             str(entry["count"]),
             format_runtime(entry["total_s"]),
@@ -117,8 +156,14 @@ def format_stage_table(spans: list[Span]) -> str:
             format_runtime(entry["mean_s"]),
             format_runtime(entry["max_s"]),
         )
-        for name, entry in stats.items()
-    ]
+        if profiled:
+            cpu = entry.get("cpu_s")
+            row += (
+                format_runtime(cpu) if cpu is not None else "-",
+                format_memory(entry.get("mem_peak_kb")),
+                format_memory(entry.get("max_rss_kb")),
+            )
+        rows.append(row)
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
         else len(headers[i])

@@ -11,10 +11,11 @@ robustness extension of the paper's Table 6.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 
 from ..categories import DataCategory
-from ..obs import get_logger
+from ..obs import RunLedger, RunRecord, get_logger, git_describe, host_info
 from .degradation import DegradationReport
 from .faults import FaultPlan
 
@@ -83,16 +84,23 @@ def _mean_category_mse(improvements) -> dict[str, float]:
 
 
 def run_chaos(config, plan: FaultPlan, policy: str = "fill",
-              model: str = "rf") -> ChaosReport:
+              model: str = "rf",
+              ledger_path: str | None = None) -> ChaosReport:
     """Run clean and faulted experiments; compare per-category MSE.
 
     The faulted run uses scenario failure isolation (``on_error=
     "capture"``), so a scenario that dies under corruption becomes a
     report entry rather than a crash. Only scenarios completed by
     *both* runs enter the MSE comparison.
+
+    ``ledger_path`` appends one ``kind="chaos"`` record summarising the
+    whole clean-vs-faulted comparison to the run ledger (the inner
+    experiment runs deliberately do not append their own records, so a
+    chaos run is one ledger line, not three).
     """
     from ..core.pipeline import run_experiment  # late: avoids cycle
 
+    started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     base = replace(config, fault_plan=None, degradation="abort")
     _log.info("chaos.clean_run", seed=config.simulation.seed)
     clean = run_experiment(base)
@@ -153,6 +161,34 @@ def run_chaos(config, plan: FaultPlan, policy: str = "fill",
         clean_runtime=clean.runtime_seconds,
         faulted_runtime=faulted.runtime_seconds,
     )
+    if ledger_path is not None:
+        diverse = report.rows[0]
+        record = RunRecord(
+            kind="chaos",
+            status="ok" if not report.failures else "partial",
+            started_at=started_at,
+            duration_s=round(
+                clean.runtime_seconds + faulted.runtime_seconds, 6
+            ),
+            seed=config.simulation.seed,
+            labels={"policy": policy, "model": model,
+                    "fault_events": len(plan.events)},
+            metrics={"counters": dict(report.counters)},
+            host=host_info(),
+            git=git_describe(),
+            extra={
+                "scenarios_compared": report.n_scenarios_compared,
+                "failures": sorted(report.failures),
+                "diverse_pct_change": diverse.pct_change,
+                "clean_runtime_s": round(clean.runtime_seconds, 6),
+                "faulted_runtime_s": round(faulted.runtime_seconds, 6),
+            },
+        )
+        try:
+            RunLedger(ledger_path).append(record)
+        except OSError as exc:
+            _log.warning("ledger.append_failed", path=ledger_path,
+                         error=str(exc))
     return report
 
 

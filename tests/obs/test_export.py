@@ -1,0 +1,144 @@
+"""Metric exposition: Prometheus text and JSONL sink round-trips.
+
+The satellite contract: registry → Prometheus text → parse and
+registry → JSONL → read → merge are lossless for counters, gauges, and
+histogram summaries — the exchange a scraper or a sharded sweep relies
+on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    append_metrics_jsonl,
+    parse_prometheus,
+    prometheus_text,
+    read_metrics_jsonl,
+    sanitize_metric_name,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("cache.hits").inc(7)
+    registry.counter("fra.features_eliminated").inc(1087)
+    registry.gauge("experiment.scenarios").set(10)
+    registry.gauge("synth.metrics").set(235.5)
+    hist = registry.histogram("improvement.mse")
+    for value in (1.0, 4.0, 2.0, 8.0, 16.0):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("cache.hits") == "cache_hits"
+        assert sanitize_metric_name("a-b.c d") == "a_b_c_d"
+
+    def test_leading_digit_is_prefixed(self):
+        assert sanitize_metric_name("1weird")[0] == "_"
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("already_fine") == "already_fine"
+
+
+class TestPrometheusText:
+    def test_exposition_structure(self):
+        text = prometheus_text(_populated_registry())
+        assert "# TYPE cache_hits counter" in text
+        assert "# TYPE experiment_scenarios gauge" in text
+        assert "# TYPE improvement_mse summary" in text
+        assert "# HELP cache_hits repro metric cache.hits" in text
+        assert "cache_hits 7" in text
+        assert 'improvement_mse{quantile="0.5"}' in text
+        assert "improvement_mse_count 5" in text
+        assert "improvement_mse_sum 31.0" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()).strip() == ""
+
+    def test_round_trip_is_lossless(self):
+        registry = _populated_registry()
+        parsed = parse_prometheus(prometheus_text(registry))
+        snapshot = registry.snapshot()
+        assert parsed["counters"] == snapshot["counters"]
+        assert parsed["gauges"] == snapshot["gauges"]
+        mse = parsed["histograms"]["improvement.mse"]
+        summary = snapshot["histograms"]["improvement.mse"]
+        assert mse["count"] == summary["count"]
+        assert mse["mean"] == pytest.approx(summary["mean"])
+        assert mse["quantiles"][0.0] == summary["min"]
+        assert mse["quantiles"][1.0] == summary["max"]
+        assert mse["quantiles"][0.5] == pytest.approx(summary["p50"])
+        assert mse["quantiles"][0.9] == pytest.approx(summary["p90"])
+        assert mse["quantiles"][0.99] == pytest.approx(summary["p99"])
+
+    def test_counter_values_parse_back_as_ints(self):
+        parsed = parse_prometheus(prometheus_text(_populated_registry()))
+        assert parsed["counters"]["cache.hits"] == 7
+        assert isinstance(parsed["counters"]["cache.hits"], int)
+
+    def test_dotted_names_recovered_from_help_lines(self):
+        parsed = parse_prometheus(prometheus_text(_populated_registry()))
+        assert set(parsed["counters"]) == {"cache.hits",
+                                           "fra.features_eliminated"}
+
+    def test_foreign_text_parses_under_sanitised_names(self):
+        text = "# TYPE other_tool_total counter\nother_tool_total 3\n"
+        parsed = parse_prometheus(text)
+        assert parsed["counters"]["other_tool_total"] == 3
+
+
+class TestMetricsJsonl:
+    def test_append_and_read_back(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_metrics_jsonl(_populated_registry(), path,
+                             meta={"run": "a"})
+        append_metrics_jsonl(_populated_registry(), path,
+                             meta={"run": "b"})
+        lines = read_metrics_jsonl(path)
+        assert [entry["meta"]["run"] for entry in lines] == ["a", "b"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_metrics_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_torn_line_is_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_metrics_jsonl(_populated_registry(), path)
+        with path.open("a") as handle:
+            handle.write('{"meta": {}, "metrics": {"coun')
+        assert len(read_metrics_jsonl(path)) == 1
+
+    def test_round_trip_merge_is_lossless(self, tmp_path):
+        # Two shards dump to the sink; merging the lines back into one
+        # registry reproduces the combined snapshot exactly — raw
+        # histogram observations survive, not just summaries.
+        path = tmp_path / "metrics.jsonl"
+        shard_a = _populated_registry()
+        shard_b = MetricsRegistry()
+        shard_b.counter("cache.hits").inc(3)
+        shard_b.histogram("improvement.mse").observe(32.0)
+        append_metrics_jsonl(shard_a, path, meta={"shard": 0})
+        append_metrics_jsonl(shard_b, path, meta={"shard": 1})
+
+        merged = MetricsRegistry()
+        for entry in read_metrics_jsonl(path):
+            merged.merge(entry["metrics"])
+        assert merged.counter("cache.hits").value == 10
+        hist = merged.histogram("improvement.mse")
+        assert hist.count == 6
+        assert sorted(hist.values) == [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+
+        reference = MetricsRegistry()
+        reference.merge(shard_a.dump())
+        reference.merge(shard_b.dump())
+        assert merged.snapshot() == reference.snapshot()
+
+    def test_payload_is_plain_json(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        payload = append_metrics_jsonl(_populated_registry(), path)
+        line = json.loads(path.read_text().splitlines()[0])
+        assert line == json.loads(json.dumps(payload))

@@ -1,0 +1,127 @@
+"""End-to-end ledger wiring: cold and warm runs leave linked records.
+
+The acceptance demo from the observability tentpole, as a test: a cold
+and a cache-warm ``run_experiment`` against one config append two
+ledger records that share a fingerprint and dataset key, the warm
+record shows the cache hits, and ``render_history``/``render_record``
+surface both with per-stage wall time (plus peak memory when the run
+was profiled).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import ExperimentConfig, run_experiment
+from repro.obs import RunLedger, render_history, render_record
+from repro.resilience import FaultPlan, run_chaos
+
+
+@pytest.fixture(scope="module")
+def mini_config():
+    config = ExperimentConfig.fast()
+    return dataclasses.replace(
+        config,
+        simulation=dataclasses.replace(config.simulation,
+                                       end="2019-12-31"),
+        periods=("2017",),
+        windows=(7,),
+        run_gb_validation=False,
+        n_jobs=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def ledger_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("ledger") / "runs.jsonl"
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("ledger-cache")
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm(mini_config, cache_dir, ledger_path):
+    cold = run_experiment(mini_config, cache_dir=str(cache_dir),
+                          ledger_path=str(ledger_path))
+    warm = run_experiment(mini_config, cache_dir=str(cache_dir),
+                          ledger_path=str(ledger_path))
+    return cold, warm
+
+
+class TestRunLedgerIntegration:
+    def test_both_runs_append_linked_records(self, cold_and_warm,
+                                             ledger_path):
+        records = RunLedger(ledger_path).records()
+        assert len(records) == 2
+        cold, warm = records
+        assert cold.kind == "run" and warm.kind == "run"
+        assert cold.fingerprint == warm.fingerprint
+        assert cold.cache["dataset_key"] == warm.cache["dataset_key"]
+        assert cold.run_id != warm.run_id
+
+    def test_warm_record_shows_cache_hits(self, cold_and_warm,
+                                          ledger_path):
+        cold, warm = RunLedger(ledger_path).records()
+        assert cold.cache.get("hits", 0) == 0
+        assert warm.cache["hits"] > 0
+
+    def test_records_carry_stages_and_host(self, cold_and_warm,
+                                           ledger_path):
+        record = RunLedger(ledger_path).latest()
+        assert "experiment.run" in record.stages
+        assert record.stages["experiment.run"]["total_s"] > 0
+        assert record.host["python"]
+        assert record.status == "ok"
+        assert record.duration_s == pytest.approx(
+            cold_and_warm[1].runtime_seconds, abs=1.0)
+
+    def test_history_renders_both_runs(self, cold_and_warm,
+                                       ledger_path):
+        records = RunLedger(ledger_path).records()
+        text = render_history(records)
+        for record in records:
+            assert record.run_id[:8] in text
+        assert "hits" in text
+
+    def test_record_renders_stage_table(self, cold_and_warm,
+                                        ledger_path):
+        record = RunLedger(ledger_path).latest()
+        text = render_record(record)
+        assert "experiment.run" in text
+        assert "fingerprint" in text
+
+
+class TestProfiledRunLedger:
+    def test_profiled_run_records_peak_memory(self, mini_config,
+                                              tmp_path):
+        ledger_path = tmp_path / "runs.jsonl"
+        config = dataclasses.replace(mini_config, profile=True)
+        run_experiment(config, ledger_path=str(ledger_path))
+        record = RunLedger(ledger_path).latest()
+        stages = record.stages["experiment.run"]
+        assert stages["mem_peak_kb"] > 0
+        assert stages["cpu_s"] >= 0.0
+        assert "peak-mem" in render_record(record)
+
+    def test_profile_flag_does_not_change_fingerprint(
+            self, mini_config, cold_and_warm, tmp_path, ledger_path):
+        profiled_path = tmp_path / "runs.jsonl"
+        config = dataclasses.replace(mini_config, profile=True)
+        run_experiment(config, ledger_path=str(profiled_path))
+        profiled = RunLedger(profiled_path).latest()
+        plain = RunLedger(ledger_path).latest()
+        assert profiled.fingerprint == plain.fingerprint
+
+
+class TestChaosLedger:
+    def test_chaos_run_appends_a_chaos_record(self, mini_config,
+                                              tmp_path):
+        ledger_path = tmp_path / "runs.jsonl"
+        plan = FaultPlan(seed=11, events=())
+        run_chaos(mini_config, plan, ledger_path=str(ledger_path))
+        record = RunLedger(ledger_path).latest()
+        assert record.kind == "chaos"
+        assert record.labels["policy"]
+        assert "clean_runtime_s" in record.extra

@@ -1,0 +1,195 @@
+"""Resource-profiling spans: measurement, merge, and zero-cost default.
+
+The contract under test: :func:`repro.obs.profiled_span` annotates span
+attrs with CPU/memory/GC measurements when profiling is on, rides the
+existing worker-merge machinery unchanged (attrs are ordinary span
+data), surfaces as extra ``trace-summary`` columns, and — the
+acceptance criterion — costs essentially nothing when off (<5%
+wall-time overhead over a bare span).
+"""
+
+import time
+
+from repro.obs import (
+    PROFILE_ATTRS,
+    Tracer,
+    aggregate_spans,
+    format_stage_table,
+    profiled_span,
+    profiling_enabled,
+    resolve_profiling,
+    set_profiling,
+    span,
+    use_profiling,
+    use_tracer,
+)
+from repro.parallel import ParallelMap
+
+
+class TestProfiledSpan:
+    def test_enabled_span_carries_every_profile_attr(self):
+        tracer = Tracer()
+        with use_tracer(tracer), use_profiling(True):
+            with profiled_span("stage.alloc", scenario="x"):
+                blob = [float(i) for i in range(100_000)]
+                del blob
+        record = tracer.spans[0]
+        for attr in PROFILE_ATTRS:
+            assert attr in record.attrs, attr
+        # The 100k-float list is ~2.5 MB of traced allocations.
+        assert record.attrs["mem_peak_kb"] > 1_000
+        assert record.attrs["cpu_s"] >= 0.0
+        assert record.attrs["max_rss_kb"] > 0
+        # Ordinary attrs still ride along.
+        assert record.attrs["scenario"] == "x"
+
+    def test_disabled_span_carries_no_profile_attrs(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with profiled_span("stage.plain"):
+                pass
+        assert not any(
+            attr in tracer.spans[0].attrs for attr in PROFILE_ATTRS
+        )
+
+    def test_use_profiling_restores_previous_state(self):
+        assert not profiling_enabled()
+        with use_profiling(True):
+            assert profiling_enabled()
+            with use_profiling(False):
+                assert not profiling_enabled()
+            assert profiling_enabled()
+        assert not profiling_enabled()
+
+    def test_set_profiling_returns_previous(self):
+        assert set_profiling(True) is False
+        try:
+            assert set_profiling(False) is True
+        finally:
+            set_profiling(False)
+
+    def test_peak_is_per_span_for_sequential_stages(self):
+        tracer = Tracer()
+        with use_tracer(tracer), use_profiling(True):
+            with profiled_span("stage.big"):
+                blob = [float(i) for i in range(200_000)]
+                del blob
+            with profiled_span("stage.small"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        # reset_peak at entry keeps the big stage's peak out of the
+        # small stage's measurement.
+        assert (by_name["stage.small"].attrs["mem_peak_kb"]
+                < by_name["stage.big"].attrs["mem_peak_kb"])
+
+
+class TestResolveProfiling:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert resolve_profiling(False) is False
+        assert resolve_profiling(True) is True
+
+    def test_env_variants(self, monkeypatch):
+        for value, expected in (("1", True), ("true", True),
+                                ("YES", True), ("on", True),
+                                ("0", False), ("", False),
+                                ("off", False)):
+            monkeypatch.setenv("REPRO_PROFILE", value)
+            assert resolve_profiling() is expected, value
+
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert resolve_profiling() is False
+
+
+def _profiled_work(item):
+    with use_profiling(True):
+        with profiled_span("worker.unit", item=item):
+            blob = [float(i) for i in range(50_000)]
+            del blob
+    return item * 2
+
+
+class TestWorkerMerge:
+    def test_profile_attrs_merge_back_from_process_workers(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            results = ParallelMap(2).map(_profiled_work, [1, 2, 3])
+        assert results == [2, 4, 6]
+        units = [s for s in tracer.spans if s.name == "worker.unit"]
+        assert len(units) == 3
+        for record in units:
+            assert record.attrs["mem_peak_kb"] > 100
+            assert "cpu_s" in record.attrs
+
+
+class TestSummaryColumns:
+    def test_aggregates_include_profile_columns_when_present(self):
+        tracer = Tracer()
+        with use_tracer(tracer), use_profiling(True):
+            for _ in range(2):
+                with profiled_span("stage.a"):
+                    blob = [float(i) for i in range(30_000)]
+                    del blob
+        stats = aggregate_spans(tracer.spans)["stage.a"]
+        assert stats["count"] == 2
+        assert stats["mem_peak_kb"] > 0      # max across spans
+        assert stats["cpu_s"] >= 0.0         # summed across spans
+        assert "gc_collections" in stats
+
+    def test_unprofiled_aggregates_keep_historical_keys(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("stage.a"):
+                pass
+        stats = aggregate_spans(tracer.spans)["stage.a"]
+        assert set(stats) == {"count", "total_s", "self_s", "max_s",
+                              "mean_s"}
+
+    def test_stage_table_grows_columns_only_when_profiled(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("stage.a"):
+                pass
+        assert "peak-mem" not in format_stage_table(tracer.spans)
+        profiled = Tracer()
+        with use_tracer(profiled), use_profiling(True):
+            with profiled_span("stage.a"):
+                pass
+        table = format_stage_table(profiled.spans)
+        assert "cpu" in table and "peak-mem" in table \
+            and "max-rss" in table
+
+
+class TestDisabledOverhead:
+    def test_disabled_profiling_under_five_percent_overhead(self):
+        # Acceptance criterion: profiled_span with profiling off must
+        # stay within 5% of a bare span.  Best-of-N timings make the
+        # comparison robust to scheduler noise.
+        n = 400
+
+        def run_bare():
+            start = time.perf_counter()
+            tracer = Tracer()
+            with use_tracer(tracer):
+                for i in range(n):
+                    with span("overhead.probe", i=i):
+                        pass
+            return time.perf_counter() - start
+
+        def run_profiled_off():
+            start = time.perf_counter()
+            tracer = Tracer()
+            with use_tracer(tracer):
+                for i in range(n):
+                    with profiled_span("overhead.probe", i=i):
+                        pass
+            return time.perf_counter() - start
+
+        run_bare(), run_profiled_off()  # warm-up
+        bare = min(run_bare() for _ in range(5))
+        off = min(run_profiled_off() for _ in range(5))
+        assert off <= bare * 1.05, (
+            f"disabled profiling overhead {off / bare - 1:.1%} "
+            f"(bare={bare:.6f}s profiled-off={off:.6f}s)"
+        )

@@ -24,7 +24,8 @@ def _run(*roots, cwd=REPO):
 
 class TestCheckNoPrint:
     def test_library_tree_is_clean(self):
-        result = _run("src/repro", "src/repro/cache", "src/repro/ml")
+        result = _run("src/repro", "src/repro/cache", "src/repro/ml",
+                      "src/repro/obs")
         assert result.returncode == 0, result.stderr
 
     def test_cache_package_is_inside_the_scanned_tree(self):
@@ -36,6 +37,18 @@ class TestCheckNoPrint:
         assert "cache/fit.py" in scanned
         assert "cache/compiled.py" in scanned
         assert "ml/compiled.py" in scanned
+
+    def test_obs_modules_are_inside_the_scanned_tree(self):
+        # The ledger/profile/export/bench modules return strings for
+        # the CLI to print — they must never print themselves.
+        scanned = {
+            path.relative_to(REPO / "src" / "repro").as_posix()
+            for path in (REPO / "src" / "repro").rglob("*.py")
+        }
+        assert "obs/ledger.py" in scanned
+        assert "obs/profile.py" in scanned
+        assert "obs/export.py" in scanned
+        assert "obs/bench.py" in scanned
 
     def test_planted_offender_in_nested_package_is_caught(self, tmp_path):
         nested = tmp_path / "lib" / "cache"
