@@ -12,8 +12,15 @@ raw data bytes.
 
 Layout:
 
+* :mod:`~repro.cache.codec` — the self-verifying artifact frame (magic
+  + schema version + payload sha256) shared by the store and
+  checkpoint files; distinguishes :class:`CorruptArtifact` (damaged
+  bytes → quarantine) from :class:`StaleArtifact` (intact bytes, old
+  schema → plain miss).
 * :mod:`~repro.cache.store` — :class:`CacheStore`, the atomic on-disk
-  pickle store with hit/miss/bytes counters in the metrics registry.
+  pickle store with hit/miss/corrupt/bytes counters in the metrics
+  registry plus ``stats``/``verify``/``gc``/``clear`` maintenance
+  (surfaced as the ``repro cache`` CLI).
 * :mod:`~repro.cache.keys` — key builders (dataset, scenario frames,
   per-scenario task results, fitted models).
 * :mod:`~repro.cache.context` — :func:`use_cache` / :func:`current_cache`
@@ -29,6 +36,13 @@ Wired into ``run_experiment(cache_dir=...)`` and the CLI via
 Everything degrades to plain computation when no store is installed.
 """
 
+from .codec import (
+    CorruptArtifact,
+    StaleArtifact,
+    dump_artifact,
+    load_artifact,
+    quarantine_entry,
+)
 from .compiled import compile_cached
 from .context import current_cache, use_cache
 from .fit import fit_cached
@@ -46,15 +60,20 @@ from .store import CacheStore
 
 __all__ = [
     "CacheStore",
+    "CorruptArtifact",
+    "StaleArtifact",
     "array_digest",
     "compile_cached",
     "compiled_key",
     "current_cache",
     "dataset_key",
+    "dump_artifact",
     "fingerprint_parts",
     "fit_cached",
     "frame_digest",
+    "load_artifact",
     "model_fit_key",
+    "quarantine_entry",
     "scenarios_key",
     "task_key",
     "use_cache",

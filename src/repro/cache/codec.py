@@ -1,0 +1,202 @@
+"""Self-verifying artifact framing shared by cache and checkpoints.
+
+Every on-disk artifact this package writes — :class:`~repro.cache.CacheStore`
+entries and :class:`~repro.resilience.checkpoint.RunCheckpoint` scenario
+files — goes through one codec that wraps the pickled payload in a
+*frame*::
+
+    magic (4B)  version (1B)  sha256(payload) (32B)  length (8B)  payload
+
+Reads verify the frame before a single pickle opcode executes: a
+flipped bit anywhere in the payload fails the digest, a torn tail fails
+the length, and an alien file fails the magic.  The caller then decides
+what a :class:`CorruptArtifact` means (the store quarantines the file
+and recomputes; silent loading of damaged state is structurally
+impossible).
+
+Two deliberate distinctions:
+
+* **Corrupt vs stale.**  A frame whose digest verifies but whose
+  payload references code that no longer imports (a class was renamed
+  between versions) raises :class:`StaleArtifact` instead — the file is
+  intact, the *schema* moved on; it is a plain miss, not quarantine
+  material.
+* **Legacy read-back.**  Blobs without the magic are treated as the
+  bare pickles every release before the frame wrote; they load
+  transparently (and re-save framed on the next write), so upgrading
+  never invalidates a warm cache.
+
+``MemoryError`` always propagates: an allocation failure is a machine
+problem, never evidence about the artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+from pathlib import Path
+
+__all__ = [
+    "CorruptArtifact",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "QUARANTINE_DIR",
+    "StaleArtifact",
+    "atomic_write_bytes",
+    "dump_artifact",
+    "is_framed",
+    "load_artifact",
+    "quarantine_entry",
+    "unframe",
+]
+
+#: Frame header: magic, schema version, payload sha256, payload length.
+FRAME_MAGIC = b"RPAF"
+FRAME_VERSION = 1
+_HEADER = struct.Struct(">4sB32sQ")
+
+#: Subdirectory (of a store/checkpoint root) corrupt entries move to.
+QUARANTINE_DIR = "quarantine"
+
+
+class CorruptArtifact(ValueError):
+    """An on-disk artifact failed its integrity check.
+
+    ``reason`` is a short machine-readable slug (``digest-mismatch``,
+    ``truncated-header``, ``length-mismatch``, ``unknown-version``,
+    ``unpicklable-payload``, ``legacy-unreadable``).
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+
+
+class StaleArtifact(ValueError):
+    """An intact artifact references code that no longer imports.
+
+    Treated as a plain cache miss — the entry belongs to an older
+    schema, it is not damaged.
+    """
+
+
+def is_framed(blob: bytes) -> bool:
+    """Whether ``blob`` starts with the artifact-frame magic."""
+    return blob[:len(FRAME_MAGIC)] == FRAME_MAGIC
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap raw payload bytes in a verified frame."""
+    return _HEADER.pack(
+        FRAME_MAGIC, FRAME_VERSION,
+        hashlib.sha256(payload).digest(), len(payload),
+    ) + payload
+
+
+def unframe(blob: bytes) -> bytes:
+    """Verify and strip the frame; raises :class:`CorruptArtifact`."""
+    if len(blob) < _HEADER.size:
+        raise CorruptArtifact(
+            "truncated-header",
+            f"{len(blob)} bytes < {_HEADER.size}-byte header",
+        )
+    magic, version, digest, length = _HEADER.unpack_from(blob)
+    if magic != FRAME_MAGIC:
+        raise CorruptArtifact("bad-magic", repr(magic))
+    if version != FRAME_VERSION:
+        raise CorruptArtifact("unknown-version", str(version))
+    payload = blob[_HEADER.size:]
+    if len(payload) != length:
+        raise CorruptArtifact(
+            "length-mismatch", f"{len(payload)} != {length}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CorruptArtifact("digest-mismatch")
+    return payload
+
+
+def dump_artifact(payload) -> bytes:
+    """Pickle ``payload`` and wrap it in a verified frame."""
+    return frame(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_artifact(blob: bytes):
+    """Load a framed artifact (or a legacy bare pickle).
+
+    Raises :class:`CorruptArtifact` for damaged bytes,
+    :class:`StaleArtifact` for intact payloads whose classes no longer
+    import.  ``MemoryError`` propagates untouched.
+    """
+    if is_framed(blob):
+        payload = unframe(blob)
+        try:
+            return pickle.loads(payload)
+        except (AttributeError, ImportError) as exc:
+            raise StaleArtifact(str(exc)) from exc
+        except MemoryError:
+            raise
+        except Exception as exc:
+            # The digest verified, so the writer framed garbage — a
+            # bug, but still never something to load silently.
+            raise CorruptArtifact(
+                "unpicklable-payload", f"{type(exc).__name__}: {exc}"
+            ) from exc
+    # Pre-frame entry: a bare pickle written by an earlier release.
+    try:
+        return pickle.loads(blob)
+    except (AttributeError, ImportError) as exc:
+        raise StaleArtifact(str(exc)) from exc
+    except MemoryError:
+        raise
+    except Exception as exc:
+        raise CorruptArtifact(
+            "legacy-unreadable", f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Write-then-rename so readers never observe a partial file.
+
+    Shared by the checkpoint store and :class:`~repro.cache.CacheStore`
+    — any on-disk artifact in this package goes through this helper.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def quarantine_entry(path: Path, root: Path) -> Path | None:
+    """Move a corrupt entry into ``root/quarantine/``; returns the new
+    path (None when the move itself failed and the file was deleted).
+
+    Quarantined files keep their name, so an operator can inspect what
+    was damaged; a second corruption of the same key overwrites the
+    first (the newest evidence wins).
+    """
+    quarantine = Path(root) / QUARANTINE_DIR
+    try:
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / Path(path).name
+        Path(path).replace(target)
+        return target
+    except OSError:
+        try:
+            Path(path).unlink()
+        except OSError:
+            pass
+        return None

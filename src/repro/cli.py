@@ -26,6 +26,10 @@ Commands
     Perf-regression gate: ``bench check`` compares fresh BENCH_*.json
     results against committed baselines (ratio metrics gate with a
     tolerance; absolute seconds are informational).
+``cache``
+    Maintain the content-addressed artifact cache: ``stats`` (one-line
+    inventory), ``verify`` (integrity-sweep every entry, quarantining
+    corrupt ones), ``gc`` (prune by age/size) and ``clear``.
 
 Examples::
 
@@ -40,6 +44,9 @@ Examples::
     python -m repro report runs.jsonl --last 10
     python -m repro report runs.jsonl --run 1a2b3c4d
     python -m repro bench check --results /tmp/bench --tolerance 0.3
+    python -m repro cache stats --dir cache/
+    python -m repro cache verify --dir cache/
+    python -m repro cache gc --dir cache/ --max-size 2G --max-age 30d
     python -m repro trace-summary t.jsonl
     python -m repro index --seed 7
 """
@@ -110,6 +117,42 @@ def _positive_int(value: str) -> int:
     return number
 
 
+_SIZE_UNITS = {"": 1, "K": 1024, "M": 1024 ** 2, "G": 1024 ** 3,
+               "T": 1024 ** 4}
+_AGE_UNITS = {"": 1.0, "S": 1.0, "M": 60.0, "H": 3600.0, "D": 86400.0,
+              "W": 7 * 86400.0}
+
+
+def _size_bytes(value: str) -> int:
+    """Parse ``500M`` / ``2G`` / plain bytes into an int."""
+    text = value.strip().upper().removesuffix("B")
+    unit = text[-1] if text and text[-1] in _SIZE_UNITS else ""
+    try:
+        number = float(text.removesuffix(unit)) * _SIZE_UNITS[unit]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size (try 500M, 2G, or bytes): {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0: {value!r}")
+    return int(number)
+
+
+def _age_seconds(value: str) -> float:
+    """Parse ``30d`` / ``12h`` / plain seconds into seconds."""
+    text = value.strip().upper()
+    unit = text[-1] if text and text[-1] in _AGE_UNITS else ""
+    try:
+        number = float(text.removesuffix(unit)) * _AGE_UNITS[unit]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a duration (try 30d, 12h, or seconds): {value!r}"
+        ) from None
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"age must be >= 0: {value!r}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -153,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the scenario fan-out "
                           "(default: $REPRO_JOBS or all cores; 1 = serial; "
                           "results are identical for any value)")
+    run.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-scenario deadline under --jobs: a hung "
+                          "scenario is killed and reported while the "
+                          "other scenarios' results are kept "
+                          "(default: $REPRO_TASK_TIMEOUT or none)")
+    run.add_argument("--task-retries", type=int, default=None, metavar="N",
+                     help="how many times a broken worker pool may be "
+                          "rebuilt before giving up "
+                          "(default: $REPRO_TASK_RETRIES or 16)")
     run.add_argument("--splitter", choices=("exact", "hist"),
                      default=None,
                      help="tree-growth kernel for every forest/booster "
@@ -270,6 +323,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--verbose", action="store_true",
                        help="also list informational (non-gating) "
                             "metrics")
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed artifact cache",
+    )
+    cache.add_argument("action",
+                       choices=("stats", "verify", "gc", "clear"),
+                       help="'stats': inventory; 'verify': integrity-"
+                            "sweep every entry (corrupt ones are "
+                            "quarantined; exits 1 when any are found); "
+                            "'gc': prune by --max-size/--max-age; "
+                            "'clear': delete everything")
+    cache.add_argument("--dir", type=Path, default=None, metavar="DIR",
+                       dest="cache_dir",
+                       help="the cache directory "
+                            "(default: $REPRO_CACHE_DIR)")
+    cache.add_argument("--max-size", type=_size_bytes, default=None,
+                       metavar="SIZE",
+                       help="gc: evict oldest entries until the cache "
+                            "fits in SIZE (500M, 2G, or plain bytes)")
+    cache.add_argument("--max-age", type=_age_seconds, default=None,
+                       metavar="AGE",
+                       help="gc: drop entries older than AGE "
+                            "(30d, 12h, or plain seconds)")
+    cache.add_argument("--no-repair", action="store_true",
+                       help="verify: report corrupt entries without "
+                            "moving them to quarantine")
 
     index = sub.add_parser(
         "index", help="Crypto100 scaling-factor analysis"
@@ -390,6 +470,10 @@ def _cmd_run(args) -> int:
         config = dataclasses.replace(config, verbose=not args.quiet)
     if args.jobs is not None:
         config = dataclasses.replace(config, n_jobs=args.jobs)
+    if args.task_timeout is not None:
+        config = dataclasses.replace(config, task_timeout=args.task_timeout)
+    if args.task_retries is not None:
+        config = dataclasses.replace(config, task_retries=args.task_retries)
     if args.fault_plan is not None:
         config = dataclasses.replace(
             config, fault_plan=FaultPlan.load(args.fault_plan)
@@ -586,6 +670,54 @@ def _cmd_trace_summary(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .cache import CacheStore
+
+    directory = args.cache_dir if args.cache_dir is not None \
+        else os.environ.get("REPRO_CACHE_DIR") or None
+    if directory is None:
+        print("no cache directory given (pass --dir or set "
+              "$REPRO_CACHE_DIR)")
+        return 1
+    store = CacheStore(directory)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache {stats['directory']}")
+        print(f"  entries      {stats['entries']} "
+              f"({stats['bytes']:,} bytes in {stats['shards']} shards)")
+        print(f"  quarantined  {stats['quarantined']} "
+              f"({stats['quarantined_bytes']:,} bytes)")
+        print(f"  tmp files    {stats['tmp_files']}")
+        return 0
+    if args.action == "verify":
+        report = store.verify(repair=not args.no_repair)
+        print(f"checked {report['checked']} entries: "
+              f"{report['ok']} ok ({report['legacy']} legacy), "
+              f"{report['stale']} stale, "
+              f"{len(report['corrupt'])} corrupt")
+        for key in report["corrupt"]:
+            print(f"  corrupt: {key}")
+        if report["quarantined"]:
+            print(f"moved {report['quarantined']} corrupt entries to "
+                  f"quarantine/")
+        return 1 if report["corrupt"] else 0
+    if args.action == "gc":
+        if args.max_size is None and args.max_age is None:
+            print("gc needs --max-size and/or --max-age")
+            return 1
+        removed = store.gc(max_bytes=args.max_size,
+                           max_age_s=args.max_age)
+        print(f"removed {removed['expired']} expired, "
+              f"{removed['evicted']} evicted, "
+              f"{removed['quarantined']} quarantined, "
+              f"{removed['tmp']} tmp files "
+              f"({removed['bytes_freed']:,} bytes freed)")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} entries from {store.directory}")
+    return 0
+
+
 def _cmd_index(args) -> int:
     config = SimulationConfig(seed=args.seed)
     latent = generate_latent_market(config)
@@ -614,6 +746,7 @@ def main(argv=None) -> int:
         "chaos": _cmd_chaos,
         "report": _cmd_report,
         "bench": _cmd_bench,
+        "cache": _cmd_cache,
         "index": _cmd_index,
         "trace-summary": _cmd_trace_summary,
     }

@@ -52,7 +52,13 @@ from ..obs import (
     use_profiling,
     use_tracer,
 )
-from ..parallel import ItemFailure, ParallelMap, resolve_n_jobs
+from ..parallel import (
+    ItemFailure,
+    ParallelMap,
+    resolve_n_jobs,
+    resolve_task_retries,
+    resolve_task_timeout,
+)
 from ..resilience import (
     DEGRADATION_POLICIES,
     DegradationReport,
@@ -148,6 +154,22 @@ class ExperimentConfig:
     one work unit on its own worker.  ``None`` resolves ``REPRO_JOBS`` →
     all cores; ``1`` forces the serial path.  Every scenario is seeded
     independently, so results are identical for any value."""
+
+    task_timeout: float | None = None
+    """Per-scenario deadline (seconds) under the parallel fan-out:
+    a scenario still running after this long is presumed hung, its
+    worker pool is torn down, and the scenario surfaces as a
+    :class:`~repro.parallel.WorkerCrash` (other scenarios' results are
+    recovered).  ``None`` resolves ``REPRO_TASK_TIMEOUT`` → no
+    deadline.  Pure execution shape — like ``n_jobs`` it never enters
+    config fingerprints or cache keys.  (CLI: ``--task-timeout``.)"""
+
+    task_retries: int | None = None
+    """Pool-rebuild budget when workers die (OOM kills, segfaults):
+    how many times :class:`~repro.parallel.ParallelMap` may rebuild a
+    broken pool and resubmit surviving scenarios before giving up.
+    ``None`` resolves ``REPRO_TASK_RETRIES`` → 16.  Execution shape
+    only, excluded from fingerprints.  (CLI: ``--task-retries``.)"""
 
     # ----- resilience ---------------------------------------------------
     fault_plan: FaultPlan | None = None
@@ -681,6 +703,10 @@ def run_experiment(config: ExperimentConfig | None = None,
         )
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
+    # Fail fast on malformed supervision knobs (the resolvers raise)
+    # rather than hours later at the scenario fan-out.
+    resolve_task_timeout(config.task_timeout)
+    resolve_task_retries(config.task_retries)
     started = time.perf_counter()
     started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     tracer = tracer if tracer is not None else Tracer()
@@ -754,15 +780,18 @@ def run_experiment(config: ExperimentConfig | None = None,
         fingerprint = None
         if (checkpoint_dir is not None or store is not None
                 or ledger_path is not None):
-            # n_jobs / verbose / predictor / profile can't change
-            # results (determinism + bit-identity contracts), so they
-            # don't participate in the fingerprint: a run killed at
-            # --jobs 4 may resume at --jobs 1, a --predictor naive run
-            # may reuse a compiled run's cache entries, and a profiled
-            # run's ledger record links to its unprofiled twin.
+            # n_jobs / verbose / predictor / profile / task_timeout /
+            # task_retries can't change results (determinism +
+            # bit-identity contracts), so they don't participate in the
+            # fingerprint: a run killed at --jobs 4 may resume at
+            # --jobs 1, a --predictor naive run may reuse a compiled
+            # run's cache entries, a profiled run's ledger record links
+            # to its unprofiled twin, and a run resumed with a tighter
+            # supervision deadline is still the same run.
             fingerprint = config_fingerprint(
                 replace(config, n_jobs=None, verbose=False,
-                        predictor="compiled", profile=False)
+                        predictor="compiled", profile=False,
+                        task_timeout=None, task_retries=None)
             )
 
         checkpoint: RunCheckpoint | None = None
@@ -812,7 +841,17 @@ def run_experiment(config: ExperimentConfig | None = None,
         task_kwargs = {"config": config, "checkpoint": checkpoint}
         if store is not None:
             task_kwargs.update(cache=store, task_keys=task_keys)
-        outcomes = ParallelMap(jobs).map(
+        # With a deadline configured (config or $REPRO_TASK_TIMEOUT),
+        # one scenario per chunk so the clock measures a single
+        # scenario, not a batch of them.
+        deadline = resolve_task_timeout(config.task_timeout)
+        mapper = ParallelMap(
+            jobs,
+            timeout=deadline,
+            max_retries=config.task_retries,
+            chunk_size=1 if deadline is not None else None,
+        )
+        outcomes = mapper.map(
             partial(_scenario_task, **task_kwargs),
             items,
             return_exceptions=(config.on_error == "capture"),

@@ -108,6 +108,7 @@ from .trace import (
     Span,
     Tracer,
     current_tracer,
+    event,
     read_jsonl,
     set_current_tracer,
     span,
@@ -138,6 +139,7 @@ __all__ = [
     "configure_logging",
     "current_metrics",
     "current_tracer",
+    "event",
     "format_memory",
     "format_runtime",
     "format_slowest",

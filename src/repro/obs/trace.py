@@ -37,6 +37,7 @@ __all__ = [
     "set_current_tracer",
     "use_tracer",
     "span",
+    "event",
     "write_jsonl",
     "read_jsonl",
 ]
@@ -155,6 +156,37 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def event(self, name: str, **attrs) -> Span:
+        """Record an instantaneous (zero-duration) span.
+
+        Events mark moments rather than regions — a pool breakage, a
+        quarantined cache entry — and ride the ordinary span stream, so
+        exports, worker merges and ``trace-summary`` need no new
+        machinery to carry them.
+        """
+        if not self.enabled:
+            return Span(name=name, start=0.0, attrs=attrs)
+        now = self._clock()
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = Span(
+            name=name,
+            start=now,
+            end=now,
+            span_id=span_id,
+            parent_id=stack[-1] if stack else None,
+            thread=threading.current_thread().name,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._spans.append(record)
+            if (self.max_spans is not None
+                    and len(self._spans) > self.max_spans):
+                del self._spans[:len(self._spans) - self.max_spans]
+        return record
+
     @contextmanager
     def attach(self, parent_id: int | None):
         """Nest this thread's subsequent spans under ``parent_id``.
@@ -265,6 +297,11 @@ def span(name: str, **attrs):
     """``current_tracer().span(...)`` — the instrumentation entry point."""
     with _current.span(name, **attrs) as record:
         yield record
+
+
+def event(name: str, **attrs) -> Span:
+    """``current_tracer().event(...)`` — record an instantaneous mark."""
+    return _current.event(name, **attrs)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,12 @@ Design contract:
 * **No nested pools** — a :class:`ParallelMap` used inside a worker runs
   inline, so parallel estimators compose safely under a parallel
   pipeline without oversubscribing the machine.
+* **Supervision** — the process backend survives worker death: broken
+  pools are rebuilt, surviving chunks resubmitted under a bounded
+  retry budget, hung chunks killed after ``timeout=`` /
+  ``$REPRO_TASK_TIMEOUT`` seconds, and the poison item is bisected out
+  as a :class:`WorkerCrash` while every other item's result is
+  recovered (see :mod:`repro.parallel.supervision`).
 
 Quick tour::
 
@@ -34,19 +40,25 @@ Quick tour::
 from .executor import (
     ItemFailure,
     ParallelMap,
+    WorkerCrash,
     in_worker,
     parallel_map,
     resolve_backend,
     resolve_n_jobs,
+    resolve_task_retries,
+    resolve_task_timeout,
 )
 from .seeding import spawn_seeds
 
 __all__ = [
     "ItemFailure",
     "ParallelMap",
+    "WorkerCrash",
     "in_worker",
     "parallel_map",
     "resolve_backend",
     "resolve_n_jobs",
+    "resolve_task_retries",
+    "resolve_task_timeout",
     "spawn_seeds",
 ]

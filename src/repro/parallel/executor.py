@@ -9,13 +9,22 @@ API with a guaranteed serial fast path:
 * Items are split into contiguous chunks (one per worker by default) so
   shared payloads bound into ``functools.partial`` are pickled once per
   chunk rather than once per item.
-* Results always come back in submission order; the first worker error
-  is re-raised in the parent with the failing chunk identified, and the
-  remaining work is cancelled.
+* Results always come back in submission order; worker errors are
+  consumed in *completion* order, so the first failure anywhere aborts
+  the map without waiting behind earlier chunks, and the remaining work
+  is cancelled.
 * ``map(..., return_exceptions=True)`` switches to *partial-results*
   mode: a failing item yields an :class:`ItemFailure` at its position
   instead of aborting the whole map, so long fan-outs survive isolated
   failures (``KeyboardInterrupt``/``SystemExit`` still propagate).
+* The ``process`` backend is *supervised*
+  (:mod:`repro.parallel.supervision`): a worker killed by the OS or
+  hung past the per-chunk deadline (``timeout=`` /
+  ``$REPRO_TASK_TIMEOUT``) no longer aborts the fan-out — the pool is
+  rebuilt, surviving chunks are resubmitted under a bounded retry
+  budget, and the poison item is bisected out as a
+  :class:`~repro.parallel.WorkerCrash` while every other item's result
+  is recovered.
 * Process workers capture their :mod:`repro.obs` spans and metrics and
   the parent merges them into its current tracer/registry, re-parented
   under the span that was open at the call site.
@@ -32,7 +41,7 @@ import os
 import pickle
 import threading
 import traceback as traceback_module
-from dataclasses import dataclass
+from concurrent.futures import as_completed
 from functools import partial
 
 from ..obs import (
@@ -44,14 +53,24 @@ from ..obs import (
     set_current_metrics,
     set_current_tracer,
 )
+from .supervision import (
+    ItemFailure,
+    Supervisor,
+    WorkerCrash,
+    resolve_task_retries,
+    resolve_task_timeout,
+)
 
 __all__ = [
     "ItemFailure",
     "ParallelMap",
+    "WorkerCrash",
     "in_worker",
     "parallel_map",
     "resolve_backend",
     "resolve_n_jobs",
+    "resolve_task_retries",
+    "resolve_task_timeout",
 ]
 
 _log = get_logger("parallel")
@@ -110,26 +129,6 @@ def resolve_backend(backend: str | None = None) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
-
-
-@dataclass
-class ItemFailure:
-    """One item's captured exception in partial-results mode.
-
-    ``exception`` is the original object when it survived the trip back
-    from the worker (unpicklable exceptions are represented by their
-    string fields only). ``traceback`` is the formatted worker-side
-    traceback, preserved across process boundaries.
-    """
-
-    index: int
-    error_type: str
-    message: str
-    traceback: str
-    exception: BaseException | None = None
-
-    def __str__(self) -> str:
-        return f"item {self.index}: {self.error_type}: {self.message}"
 
 
 def _capture_call(fn, item, index: int, ship_across_process: bool):
@@ -224,16 +223,30 @@ class ParallelMap:
         Items per submitted task. Default: one contiguous chunk per
         worker, which minimises how often shared ``partial`` payloads
         are pickled.
+    timeout:
+        Per-chunk deadline in seconds for the ``process`` backend
+        (``None`` → ``$REPRO_TASK_TIMEOUT`` → no deadline).  A chunk
+        observed running past it has its worker killed and is retried /
+        bisected by the supervision layer.  Ignored by the ``thread``
+        and ``serial`` backends, which cannot kill a hung task.
+    max_retries:
+        Pool-rebuild budget for the supervision layer (``None`` →
+        ``$REPRO_TASK_RETRIES`` → 16).  Once spent, unresolved items
+        fail as :class:`WorkerCrash` instead of retrying forever.
     """
 
     def __init__(self, n_jobs: int | None = None,
                  backend: str | None = None,
-                 chunk_size: int | None = None):
+                 chunk_size: int | None = None,
+                 timeout: float | None = None,
+                 max_retries: int | None = None):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.backend = resolve_backend(backend)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 (or None)")
         self.chunk_size = chunk_size
+        self.timeout = resolve_task_timeout(timeout)
+        self.max_retries = resolve_task_retries(max_retries)
 
     # ------------------------------------------------------------------
     def map(self, fn, items, return_exceptions: bool = False) -> list:
@@ -245,8 +258,13 @@ class ParallelMap:
         With ``return_exceptions=True`` an item whose call raises an
         ``Exception`` contributes an :class:`ItemFailure` (carrying the
         worker-side traceback) at its position instead of aborting the
-        map — the other items' results are preserved.  The default
-        behaviour (raise on first error, cancel the rest) is unchanged.
+        map — the other items' results are preserved.  Worker deaths
+        and deadline overruns in the ``process`` backend surface as
+        ``error_type == "WorkerCrash"`` failures after the supervision
+        layer has recovered every other item.  The default behaviour
+        (raise on the first error, cancel the rest) is unchanged —
+        except that an unrecoverable worker death now raises
+        :class:`WorkerCrash` instead of ``BrokenProcessPool``.
         """
         items = list(items)
         n_jobs = min(self.n_jobs, len(items))
@@ -267,48 +285,80 @@ class ParallelMap:
         parent_id = tracer.current_span_id()
 
         if self.backend == "thread":
-            runner = partial(_run_chunk_thread, fn,
-                             capture=return_exceptions,
-                             parent_id=parent_id)
-        else:
-            runner = partial(_run_chunk_process, fn,
-                             capture=return_exceptions)
+            return self._map_threads(fn, items, chunks, n_jobs,
+                                     parent_id, return_exceptions)
+        return self._map_processes(fn, items, chunks, n_jobs,
+                                   parent_id, return_exceptions)
 
+    # ------------------------------------------------------------------
+    def _map_threads(self, fn, items, chunks, n_jobs, parent_id,
+                     return_exceptions: bool) -> list:
+        """Thread backend: shared-memory chunks, completion-order errors."""
+        runner = partial(_run_chunk_thread, fn,
+                         capture=return_exceptions, parent_id=parent_id)
         executor = self._make_executor(min(n_jobs, len(chunks)))
-        if executor is None:  # pool creation refused by the platform
-            return self.__class__(
-                n_jobs=1, backend="serial"
-            ).map(fn, items, return_exceptions=return_exceptions)
-        chunk_results = []
-        with executor:
+        try:
             futures = [
                 executor.submit(runner, chunk, base_index=base)
                 for base, chunk in chunks
             ]
-            for index, future in enumerate(futures):
-                try:
-                    chunk_results.append(future.result())
-                except BaseException as exc:
-                    for pending in futures[index + 1:]:
-                        pending.cancel()
-                    _log.error("chunk.failed", chunk=index + 1,
+            positions = {future: i for i, future in enumerate(futures)}
+            for future in as_completed(futures):
+                exc = future.exception()
+                if exc is not None:
+                    _log.error("chunk.failed",
+                               chunk=positions[future] + 1,
                                chunks=len(chunks), backend=self.backend,
                                error=f"{type(exc).__name__}: {exc}")
-                    raise
+                    raise exc
+            out: list = []
+            for future in futures:  # submission order
+                out.extend(future.result())
+        except BaseException:
+            # Fail fast for real: drop queued chunks and raise without
+            # waiting on threads already mid-chunk (mapped functions
+            # are pure, so abandoning them is safe).
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        executor.shutdown(wait=True)
+        return out
 
-        out: list = []
-        if self.backend == "thread":
-            for results in chunk_results:
-                out.extend(results)
-            return out
+    def _map_processes(self, fn, items, chunks, n_jobs, parent_id,
+                       return_exceptions: bool) -> list:
+        """Process backend: supervised pools that survive worker death."""
+        runner = partial(_run_chunk_process, fn,
+                         capture=return_exceptions)
+        tracer = current_tracer()
         metrics = current_metrics()
-        for results, span_records, metrics_dump in chunk_results:
-            out.extend(results)
+
+        def collect(payload):
+            results, span_records, metrics_dump = payload
             if span_records:
                 tracer.absorb(span_records, parent_id=parent_id)
             if metrics_dump:
                 metrics.merge(metrics_dump)
-        return out
+            return results
+
+        def fallback(chunk_items, base):
+            if return_exceptions:
+                return [
+                    _capture_call(fn, item, base + offset,
+                                  ship_across_process=False)
+                    for offset, item in enumerate(chunk_items)
+                ]
+            return [fn(item) for item in chunk_items]
+
+        supervisor = Supervisor(
+            make_executor=self._make_executor,
+            runner=runner,
+            collect=collect,
+            fallback=fallback,
+            n_jobs=n_jobs,
+            timeout=self.timeout,
+            max_retries=self.max_retries,
+            return_exceptions=return_exceptions,
+        )
+        return supervisor.run(chunks, len(items))
 
     # ------------------------------------------------------------------
     def _make_executor(self, max_workers: int):
@@ -340,8 +390,11 @@ class ParallelMap:
 
 def parallel_map(fn, items, n_jobs: int | None = None,
                  backend: str | None = None,
-                 chunk_size: int | None = None) -> list:
+                 chunk_size: int | None = None,
+                 timeout: float | None = None,
+                 max_retries: int | None = None) -> list:
     """One-shot convenience wrapper around :class:`ParallelMap`."""
     return ParallelMap(
-        n_jobs=n_jobs, backend=backend, chunk_size=chunk_size
+        n_jobs=n_jobs, backend=backend, chunk_size=chunk_size,
+        timeout=timeout, max_retries=max_retries,
     ).map(fn, items)

@@ -15,6 +15,14 @@ A :class:`RunCheckpoint` manages one *run directory*:
     after a crash, ``repro run --resume <dir>`` loads the completed
     scenarios and only computes the rest.
 
+Scenario artifacts are framed by :mod:`repro.cache.codec` (magic +
+payload sha256), so every load verifies integrity before unpickling: a
+corrupt checkpoint is moved to the run directory's ``quarantine/``
+subdirectory and counted as ``checkpoint.corrupt``, and the resume
+simply recomputes that scenario — a damaged file can delay a resume but
+never silently poison its results.  Bare-pickle checkpoints written by
+earlier releases still load.
+
 The class is deliberately tiny and picklable (it holds only the
 directory path and fingerprint), so the parallel fan-out can hand it to
 worker processes.
@@ -24,12 +32,17 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import pickle
-import tempfile
 from pathlib import Path
 
-from ..obs import current_metrics, get_logger
+from ..cache.codec import (
+    CorruptArtifact,
+    StaleArtifact,
+    atomic_write_bytes,
+    dump_artifact,
+    load_artifact,
+    quarantine_entry,
+)
+from ..obs import current_metrics, event, get_logger
 
 __all__ = [
     "CheckpointMismatch",
@@ -131,12 +144,9 @@ class RunCheckpoint:
         return keys
 
     def save_scenario(self, key: str, payload) -> Path:
-        """Atomically persist one scenario's artifacts."""
+        """Atomically persist one scenario's artifacts (framed)."""
         path = self._path_for(key)
-        blob = pickle.dumps(
-            {"key": key, "payload": payload},
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+        blob = dump_artifact({"key": key, "payload": payload})
         atomic_write_bytes(path, blob)
         current_metrics().counter("checkpoint.saved").inc()
         _log.debug("checkpoint.saved", scenario=key,
@@ -144,7 +154,12 @@ class RunCheckpoint:
         return path
 
     def load_scenario(self, key: str):
-        """Load one scenario's artifacts (KeyError when absent)."""
+        """Load one scenario's artifacts (KeyError when absent).
+
+        The frame is verified before unpickling; a corrupt file is
+        quarantined, counted as ``checkpoint.corrupt``, and reported as
+        absent — the caller recomputes the scenario.
+        """
         payload = self._read(self._path_for(key))
         if payload is None:
             raise KeyError(f"no checkpoint for scenario {key!r}")
@@ -152,34 +167,22 @@ class RunCheckpoint:
 
     def _read(self, path: Path) -> dict | None:
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
-        except (FileNotFoundError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+            blob = path.read_bytes()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        try:
+            payload = load_artifact(blob)
+        except StaleArtifact:
+            return None
+        except CorruptArtifact as exc:
+            moved = quarantine_entry(path, self.directory)
+            current_metrics().counter("checkpoint.corrupt").inc()
+            event("checkpoint.quarantined", entry=path.name,
+                  reason=exc.reason)
+            _log.warning("checkpoint.corrupt", entry=path.name,
+                         reason=exc.reason,
+                         quarantined=str(moved) if moved else "deleted")
             return None
         if not isinstance(payload, dict) or "key" not in payload:
             return None
         return payload
-
-
-def atomic_write_bytes(path: Path, blob: bytes) -> None:
-    """Write-then-rename so readers never observe a partial file.
-
-    Shared by the checkpoint store and :mod:`repro.cache` — any on-disk
-    artifact in this package goes through this helper.
-    """
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except FileNotFoundError:
-            pass
-        raise

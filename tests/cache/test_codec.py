@@ -1,0 +1,156 @@
+"""Tests for the framed artifact codec shared by cache and checkpoints."""
+
+import pickle
+import sys
+import types
+
+import pytest
+
+from repro.cache.codec import (
+    FRAME_MAGIC,
+    CorruptArtifact,
+    StaleArtifact,
+    atomic_write_bytes,
+    dump_artifact,
+    frame,
+    is_framed,
+    load_artifact,
+    quarantine_entry,
+    unframe,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("payload", [
+        {"rows": [1, 2, 3]},
+        list(range(1000)),
+        "text",
+        b"\x00" * 64,
+        None,
+        ("nested", {"deep": [1.5, float("inf")]}),
+    ])
+    def test_dump_load_identity(self, payload):
+        assert load_artifact(dump_artifact(payload)) == payload
+
+    def test_framed_blobs_carry_the_magic(self):
+        blob = dump_artifact(123)
+        assert is_framed(blob)
+        assert blob.startswith(FRAME_MAGIC)
+
+    def test_frame_unframe_raw_bytes(self):
+        payload = b"arbitrary bytes, not a pickle"
+        assert unframe(frame(payload)) == payload
+
+
+class TestEverySingleByteFlipIsDetected:
+    def test_flip_any_byte_raises_corrupt(self):
+        # The acceptance criterion verbatim: a flipped byte anywhere —
+        # magic, version, digest, length, or payload — never loads.
+        blob = dump_artifact({"value": list(range(10))})
+        for position in range(len(blob)):
+            damaged = bytearray(blob)
+            damaged[position] ^= 0xFF
+            with pytest.raises(CorruptArtifact):
+                load_artifact(bytes(damaged))
+
+    def test_truncation_at_any_length_raises_corrupt(self):
+        blob = dump_artifact(list(range(50)))
+        for length in range(len(blob)):
+            with pytest.raises(CorruptArtifact):
+                load_artifact(blob[:length])
+
+    def test_appended_garbage_is_detected(self):
+        blob = dump_artifact("payload")
+        with pytest.raises(CorruptArtifact, match="length-mismatch"):
+            load_artifact(blob + b"trailing")
+
+    def test_reason_slugs(self):
+        blob = dump_artifact("x")
+        with pytest.raises(CorruptArtifact) as excinfo:
+            load_artifact(blob[:8])
+        assert excinfo.value.reason == "truncated-header"
+        damaged = bytearray(blob)
+        damaged[-1] ^= 0x01  # payload bit
+        with pytest.raises(CorruptArtifact) as excinfo:
+            load_artifact(bytes(damaged))
+        assert excinfo.value.reason == "digest-mismatch"
+        versioned = bytearray(blob)
+        versioned[4] = 99  # unknown schema version
+        with pytest.raises(CorruptArtifact) as excinfo:
+            load_artifact(bytes(versioned))
+        assert excinfo.value.reason == "unknown-version"
+
+
+class TestStaleVsCorrupt:
+    def _ghost_blob(self):
+        """A valid frame whose payload references a vanished module."""
+        module = types.ModuleType("repro_test_ghost_module")
+
+        class Ghost:
+            pass
+
+        Ghost.__module__ = "repro_test_ghost_module"
+        Ghost.__qualname__ = "Ghost"
+        module.Ghost = Ghost
+        sys.modules["repro_test_ghost_module"] = module
+        try:
+            return dump_artifact(Ghost())
+        finally:
+            del sys.modules["repro_test_ghost_module"]
+
+    def test_vanished_class_is_stale_not_corrupt(self):
+        with pytest.raises(StaleArtifact):
+            load_artifact(self._ghost_blob())
+
+    def test_stale_legacy_blob(self):
+        blob = self._ghost_blob()
+        legacy = unframe(blob)  # bare pickle, digest-valid
+        with pytest.raises(StaleArtifact):
+            load_artifact(legacy)
+
+
+class TestLegacyReadBack:
+    def test_bare_pickle_loads_transparently(self):
+        legacy = pickle.dumps({"old": "entry"},
+                              protocol=pickle.HIGHEST_PROTOCOL)
+        assert not is_framed(legacy)
+        assert load_artifact(legacy) == {"old": "entry"}
+
+    def test_legacy_garbage_is_corrupt(self):
+        with pytest.raises(CorruptArtifact) as excinfo:
+            load_artifact(b"definitely not a pickle")
+        assert excinfo.value.reason == "legacy-unreadable"
+
+    def test_empty_blob_is_corrupt(self):
+        with pytest.raises(CorruptArtifact):
+            load_artifact(b"")
+
+
+class TestQuarantine:
+    def test_moves_the_file_keeping_its_name(self, tmp_path):
+        entry = tmp_path / "ab" / "abcd.pkl"
+        entry.parent.mkdir()
+        entry.write_bytes(b"damaged")
+        moved = quarantine_entry(entry, tmp_path)
+        assert moved == tmp_path / "quarantine" / "abcd.pkl"
+        assert moved.read_bytes() == b"damaged"
+        assert not entry.exists()
+
+    def test_second_corruption_overwrites_the_first(self, tmp_path):
+        shard = tmp_path / "ab"
+        shard.mkdir()
+        for content in (b"first", b"second"):
+            entry = shard / "abcd.pkl"
+            entry.write_bytes(content)
+            moved = quarantine_entry(entry, tmp_path)
+        assert moved.read_bytes() == b"second"
+        assert len(list((tmp_path / "quarantine").iterdir())) == 1
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        atomic_write_bytes(target, b"one")
+        atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.bin"]

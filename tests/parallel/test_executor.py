@@ -54,6 +54,15 @@ def _traced_unit(x):
     return x * 10
 
 
+def _slow_success_or_fast_boom(x):
+    import time
+
+    if x == 0:
+        time.sleep(1.0)  # an early chunk that is merely slow
+        return x
+    raise RuntimeError(f"fast failure at {x}")
+
+
 class TestResolveNJobs:
     def test_explicit_arg_wins_over_env(self, monkeypatch):
         monkeypatch.setenv(ENV_JOBS, "7")
@@ -157,6 +166,24 @@ class TestMapSemantics:
         out = parallel_map(_nested_map, range(3), n_jobs=2,
                            backend="thread")
         assert out == [(True, [1, 4, 9])] * 3
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_errors_observed_in_completion_order(self, backend):
+        # Item 0 (the first-submitted chunk) sleeps a full second;
+        # item 1 fails instantly.  Fail-fast must consume errors in
+        # *completion* order: the fast failure aborts the map without
+        # waiting behind the slow earlier chunk.
+        import time
+
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="fast failure"):
+            ParallelMap(2, backend=backend, chunk_size=1).map(
+                _slow_success_or_fast_boom, [0, 1]
+            )
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.9, (
+            f"error waited {elapsed:.2f}s behind an earlier slow chunk"
+        )
 
 
 class TestObsMerging:

@@ -105,6 +105,34 @@ class TestExceptionTransport:
         assert "ValueError" in str(failure)
         assert "nope" in str(failure)
 
+    def test_pickle_roundtrip_keeps_picklable_exception(self):
+        import pickle
+
+        failure = ItemFailure(index=2, error_type="ValueError",
+                              message="nope", traceback="tb",
+                              exception=ValueError("nope"))
+        clone = pickle.loads(pickle.dumps(failure))
+        assert (clone.index, clone.error_type, clone.message,
+                clone.traceback) == (2, "ValueError", "nope", "tb")
+        assert isinstance(clone.exception, ValueError)
+
+    def test_pickle_roundtrip_degrades_unpicklable_exception(self):
+        # A failure captured in-process (thread/serial) may hold an
+        # unpicklable exception; persisting it to a checkpoint or cache
+        # entry must degrade the object to None, never fail the dump.
+        import pickle
+
+        failure = ItemFailure(index=0, error_type="UnpicklableError",
+                              message="weird", traceback="tb",
+                              exception=UnpicklableError("weird"))
+        blob = pickle.dumps(failure)  # must not raise
+        clone = pickle.loads(blob)
+        assert clone.exception is None
+        assert clone.message == "weird"  # string fields survive
+        assert clone.traceback == "tb"
+        # the in-memory original is untouched
+        assert isinstance(failure.exception, UnpicklableError)
+
 
 class TestBaseExceptionsStillPropagate:
     def test_keyboard_interrupt_not_captured_serial(self):

@@ -114,3 +114,52 @@ class TestRunCheckpoint:
                      if p.name.endswith(".tmp")]
         assert leftovers == []
         assert cp.load_scenario("a") == 2
+
+
+class TestCheckpointIntegrity:
+    def test_scenario_files_are_framed(self, tmp_path):
+        from repro.cache.codec import FRAME_MAGIC
+
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        path = cp.save_scenario("2017_7", {"mse": 1.0})
+        assert path.read_bytes().startswith(FRAME_MAGIC)
+
+    def test_flipped_byte_quarantined_and_counted(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_metrics
+
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        path = cp.save_scenario("2017_7", list(range(200)))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01  # a single flipped bit
+        path.write_bytes(bytes(blob))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert cp.completed_keys() == []  # recompute, don't trust
+        assert not path.exists()
+        quarantined = tmp_path / "quarantine" / path.name
+        assert quarantined.exists()
+        counters = registry.snapshot()["counters"]
+        assert counters["checkpoint.corrupt"] == 1
+
+    def test_quarantined_file_does_not_resurface(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        path = cp.save_scenario("2017_7", "value")
+        path.write_bytes(b"RPAF" + b"\x00" * 60)  # mangled frame
+        assert cp.completed_keys() == []
+        # the quarantine/ subdir must not look like a scenario artifact
+        assert cp.completed_keys() == []
+        cp.save_scenario("2017_7", "recomputed")
+        assert cp.load_scenario("2017_7") == "recomputed"
+
+    def test_legacy_bare_pickle_checkpoint_loads(self, tmp_path):
+        cp = RunCheckpoint(tmp_path)
+        cp.initialise("abc")
+        path = cp.save_scenario("2017_7", "placeholder")
+        path.write_bytes(pickle.dumps(
+            {"key": "2017_7", "payload": "pre-frame artifact"}
+        ))
+        assert cp.load_scenario("2017_7") == "pre-frame artifact"
+        assert cp.completed_keys() == ["2017_7"]

@@ -1,0 +1,128 @@
+"""Tests for the ``repro cache`` maintenance CLI and run knobs."""
+
+import os
+
+import pytest
+
+from repro.cache import CacheStore
+from repro.cli import build_parser, main
+
+KEY_A = "ab" + "0" * 62
+KEY_B = "cd" + "1" * 62
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = CacheStore(tmp_path / "cache")
+    store.put(KEY_A, {"value": list(range(50))})
+    store.put(KEY_B, "small")
+    return store
+
+
+def _corrupt(store, key):
+    path = store._path_for(key)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestCacheStats:
+    def test_prints_inventory(self, store, capsys):
+        assert main(["cache", "stats", "--dir",
+                     str(store.directory)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      2" in out
+        assert "quarantined  0" in out
+
+    def test_no_directory_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 1
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().out
+
+    def test_env_dir_fallback(self, store, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(store.directory))
+        assert main(["cache", "stats"]) == 0
+        assert "entries      2" in capsys.readouterr().out
+
+
+class TestCacheVerify:
+    def test_clean_store_exits_zero(self, store, capsys):
+        assert main(["cache", "verify", "--dir",
+                     str(store.directory)]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+
+    def test_corruption_reported_and_exits_one(self, store, capsys):
+        _corrupt(store, KEY_A)
+        assert main(["cache", "verify", "--dir",
+                     str(store.directory)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert KEY_A in out
+        assert "quarantine" in out
+        assert (store.directory / "quarantine"
+                / f"{KEY_A}.pkl").exists()
+
+    def test_no_repair_leaves_the_file(self, store, capsys):
+        _corrupt(store, KEY_A)
+        assert main(["cache", "verify", "--no-repair", "--dir",
+                     str(store.directory)]) == 1
+        assert store.contains(KEY_A)
+
+
+class TestCacheGc:
+    def test_requires_a_bound(self, store, capsys):
+        assert main(["cache", "gc", "--dir",
+                     str(store.directory)]) == 1
+        assert "--max-size" in capsys.readouterr().out
+
+    def test_max_age_prunes_old_entries(self, store, capsys):
+        os.utime(store._path_for(KEY_A), (1_000, 1_000))
+        assert main(["cache", "gc", "--dir", str(store.directory),
+                     "--max-age", "30d"]) == 0
+        assert "1 expired" in capsys.readouterr().out
+        assert not store.contains(KEY_A)
+        assert store.contains(KEY_B)
+
+    def test_max_size_evicts_oldest(self, store, capsys):
+        os.utime(store._path_for(KEY_A), (1_000, 1_000))
+        assert main(["cache", "gc", "--dir", str(store.directory),
+                     "--max-size", "100"]) == 0
+        assert "1 evicted" in capsys.readouterr().out
+        assert not store.contains(KEY_A)
+
+    def test_size_suffix_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["cache", "gc", "--dir", "x",
+                                  "--max-size", "2G",
+                                  "--max-age", "12h"])
+        assert args.max_size == 2 * 1024 ** 3
+        assert args.max_age == 12 * 3600.0
+
+    def test_garbage_size_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "gc", "--dir", "x",
+                               "--max-size", "huge"])
+
+
+class TestCacheClear:
+    def test_clears_everything(self, store, capsys):
+        assert main(["cache", "clear", "--dir",
+                     str(store.directory)]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
+        assert store.entry_count() == 0
+        assert list(store.directory.iterdir()) == []
+
+
+class TestRunSupervisionKnobs:
+    def test_run_parser_accepts_the_knobs(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--task-timeout", "90",
+                                  "--task-retries", "4"])
+        assert args.task_timeout == 90.0
+        assert args.task_retries == 4
+
+    def test_defaults_are_unset(self):
+        args = build_parser().parse_args(["run"])
+        assert args.task_timeout is None
+        assert args.task_retries is None

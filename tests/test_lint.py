@@ -25,7 +25,8 @@ def _run(*roots, cwd=REPO):
 class TestCheckNoPrint:
     def test_library_tree_is_clean(self):
         result = _run("src/repro", "src/repro/cache", "src/repro/ml",
-                      "src/repro/obs")
+                      "src/repro/obs", "src/repro/parallel",
+                      "src/repro/resilience")
         assert result.returncode == 0, result.stderr
 
     def test_cache_package_is_inside_the_scanned_tree(self):
@@ -49,6 +50,17 @@ class TestCheckNoPrint:
         assert "obs/profile.py" in scanned
         assert "obs/export.py" in scanned
         assert "obs/bench.py" in scanned
+
+    def test_supervision_modules_are_inside_the_scanned_tree(self):
+        # Worker supervision and the artifact codec log through
+        # repro.obs — a stray print in a worker process would interleave
+        # with real output nondeterministically.
+        scanned = {
+            path.relative_to(REPO / "src" / "repro").as_posix()
+            for path in (REPO / "src" / "repro").rglob("*.py")
+        }
+        assert "parallel/supervision.py" in scanned
+        assert "cache/codec.py" in scanned
 
     def test_planted_offender_in_nested_package_is_caught(self, tmp_path):
         nested = tmp_path / "lib" / "cache"
