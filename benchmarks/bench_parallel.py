@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Wall-time benchmark for the :mod:`repro.parallel` execution layer.
+"""Wall-time + transport benchmark for :mod:`repro.parallel`.
 
 Measures the parallelised hot paths — forest fit, permutation
 importance, grid search, SHAP attribution and the pipeline scenario
-fan-out — at ``n_jobs`` ∈ {1, 2, 4} and writes the timings (plus the
-host's CPU count, which bounds the achievable speedup) to
-``benchmarks/results/BENCH_parallel.json``.
+fan-out — at ``n_jobs`` ∈ {1, 2, 4} and writes the timings plus the
+shared-memory transport counters (``parallel.bytes_shipped``,
+``parallel.shm_bytes``) to ``benchmarks/results/BENCH_parallel.json``.
+
+The ``shm_transport`` entry runs the same multi-worker forest fit with
+the shared-memory transport on and off (``REPRO_SHM``) and reports
+``speedup_bytes_reduction`` — how many times fewer bytes cross the
+process boundary with zero-copy segments than with plain pickling.
+Unlike wall-clock speedups this ratio is host-independent, so it gates
+in the perf-regression job on any runner.
 
 Run directly — intentionally **not** a pytest module, because measured
 speedups depend on the host and would make flaky assertions::
@@ -39,8 +46,12 @@ from repro.ml.importance import permutation_importance  # noqa: E402
 from repro.ml.model_selection import GridSearchCV, KFold  # noqa: E402
 from repro.ml.shap import TreeExplainer  # noqa: E402
 from repro.ml.boosting import GradientBoostingRegressor  # noqa: E402
+from repro.obs import MetricsRegistry, use_metrics  # noqa: E402
 
 JOBS = (1, 2, 4)
+
+#: Transport counters copied from the n_jobs=2 run into each entry.
+_TRANSPORT_COUNTERS = ("parallel.bytes_shipped", "parallel.shm_bytes")
 
 
 def _data(n_rows=1200, n_features=60, seed=0):
@@ -51,9 +62,13 @@ def _data(n_rows=1200, n_features=60, seed=0):
 
 
 def _timed(fn):
-    start = time.perf_counter()
-    value = fn()
-    return time.perf_counter() - start, value
+    """(seconds, value, counters) under a fresh metrics registry."""
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        start = time.perf_counter()
+        value = fn()
+        seconds = time.perf_counter() - start
+    return seconds, value, registry.snapshot()["counters"]
 
 
 def bench_forest_fit(n_jobs):
@@ -94,11 +109,17 @@ def bench_shap(n_jobs):
 
 
 def bench_pipeline(n_jobs):
+    from repro.obs import current_metrics
+
     config = dataclasses.replace(
         ExperimentConfig.fast(), windows=(7, 90), verbose=False,
         n_jobs=n_jobs,
     )
-    return _timed(lambda: run_experiment(config).table1_vector_sizes())
+    # Route the run's registry at the bench's, so the transport
+    # counters of the scenario fan-out land in the JSON entry.
+    return _timed(lambda: run_experiment(
+        config, metrics=current_metrics()
+    ).table1_vector_sizes())
 
 
 BENCHES = {
@@ -110,15 +131,63 @@ BENCHES = {
 }
 
 
+def bench_shm_transport() -> dict:
+    """Bytes over the process boundary: zero-copy segments vs pickling.
+
+    The same two-worker forest fit runs twice; only ``REPRO_SHM``
+    differs.  ``speedup_bytes_reduction`` is the pickled-path transport
+    volume divided by the shared-memory path's — a host-independent
+    ratio (≥20 means the segments eliminate ≥95% of the traffic).
+    """
+    X, y = _data(n_rows=1500, n_features=80, seed=1)
+
+    def fit():
+        return RandomForestRegressor(
+            n_estimators=8, max_depth=6, max_features="sqrt",
+            random_state=0, n_jobs=2,
+        ).fit(X, y).predict(X)
+
+    saved = os.environ.get("REPRO_SHM")
+    try:
+        os.environ["REPRO_SHM"] = "1"
+        _, shm_value, shm_counters = _timed(fit)
+        os.environ["REPRO_SHM"] = "0"
+        _, pickle_value, pickle_counters = _timed(fit)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SHM", None)
+        else:
+            os.environ["REPRO_SHM"] = saved
+    shm_shipped = int(shm_counters.get("parallel.bytes_shipped", 0))
+    pickle_shipped = int(pickle_counters.get("parallel.bytes_shipped", 0))
+    reduction = (pickle_shipped / shm_shipped if shm_shipped
+                 else float("nan"))
+    return {
+        "pickle_bytes_shipped": pickle_shipped,
+        "shm_bytes_shipped": shm_shipped,
+        "shm_bytes_published": int(
+            shm_counters.get("parallel.shm_bytes", 0)
+        ),
+        "speedup_bytes_reduction": round(reduction, 2),
+        "deterministic": bool(np.array_equal(shm_value, pickle_value)),
+    }
+
+
 def main() -> int:
     benchmarks = {}
     for name, bench in BENCHES.items():
         timings = {}
+        transport = {}
         reference = None
         identical = True
         for n_jobs in JOBS:
-            seconds, value = bench(n_jobs)
+            seconds, value, counters = bench(n_jobs)
             timings[str(n_jobs)] = round(seconds, 3)
+            if n_jobs == 2:
+                transport = {
+                    key.split(".", 1)[1]: int(counters.get(key, 0))
+                    for key in _TRANSPORT_COUNTERS
+                }
             if reference is None:
                 reference = value
             else:
@@ -132,16 +201,26 @@ def main() -> int:
             "seconds": timings,
             "speedup_vs_serial": round(speedup, 2),
             "deterministic": identical,
+            **transport,
         }
         print(f"{name:14s} " + "  ".join(
             f"n_jobs={j}: {timings[str(j)]:7.3f}s" for j in JOBS
         ) + f"  identical={identical}")
+    benchmarks["shm_transport"] = bench_shm_transport()
+    print("shm_transport  "
+          f"pickle={benchmarks['shm_transport']['pickle_bytes_shipped']}B"
+          f"  shm={benchmarks['shm_transport']['shm_bytes_shipped']}B"
+          "  reduction="
+          f"{benchmarks['shm_transport']['speedup_bytes_reduction']}x")
     out = write_bench(
         "parallel", benchmarks,
         cpu_count=os.cpu_count(), jobs=list(JOBS),
-        note=("speedup is bounded by cpu_count; on a single-core "
-              "host the parallel path only demonstrates overhead "
-              "and determinism, not scaling"),
+        note=("wall-clock speedup is bounded by cpu_count; on a "
+              "single-core host the parallel path only demonstrates "
+              "overhead and determinism, not scaling. "
+              "speedup_bytes_reduction is host-independent: pickled "
+              "transport bytes divided by shared-memory transport "
+              "bytes for the same two-worker fit"),
     )
     print(f"wrote {out}")
     return 0

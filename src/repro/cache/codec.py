@@ -33,6 +33,7 @@ problem, never evidence about the artifact.
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pickle
 import struct
@@ -118,9 +119,61 @@ def unframe(blob: bytes) -> bytes:
     return payload
 
 
+_SANITIZE_TYPES: tuple | None = None
+
+
+def _sanitize_types():
+    """(SharedArray, Frame), imported lazily to keep codec low-level."""
+    global _SANITIZE_TYPES
+    if _SANITIZE_TYPES is None:
+        from ..frame.frame import Frame
+        from ..parallel.shm import SharedArray
+
+        _SANITIZE_TYPES = (SharedArray, Frame)
+    return _SANITIZE_TYPES
+
+
+class _SanitizingPickler(pickle.Pickler):
+    """Pickler that materialises shared-memory references.
+
+    Artifacts outlive the run that wrote them, but a
+    :class:`~repro.parallel.SharedArray` pickles as a ``/dev/shm``
+    segment *name* that is unlinked when the run's
+    :class:`~repro.parallel.SharedDataset` closes — persisted as-is it
+    would be a dangling pointer.  This pickler intercepts shared arrays
+    (copying their bytes in) and frames (stripping the shared-segment
+    spec from their matrix cache), so every cache entry and checkpoint
+    is self-contained no matter where its payload was computed.
+    """
+
+    def reducer_override(self, obj):
+        import numpy as np
+
+        shared_array_type, frame_type = _sanitize_types()
+        if isinstance(obj, shared_array_type):
+            plain = np.ascontiguousarray(obj)
+            return plain.__reduce_ex__(pickle.HIGHEST_PROTOCOL)
+        if type(obj) is frame_type:
+            from ..frame.frame import _rebuild_frame
+
+            data = {
+                name: (np.ascontiguousarray(arr)
+                       if isinstance(arr, shared_array_type) else arr)
+                for name, arr in obj.to_dict().items()
+            }
+            return (_rebuild_frame,
+                    (obj.index, list(obj.columns), data))
+        return NotImplemented
+
+
 def dump_artifact(payload) -> bytes:
-    """Pickle ``payload`` and wrap it in a verified frame."""
-    return frame(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    """Pickle ``payload`` (sanitising any shared-memory references)
+    and wrap it in a verified frame."""
+    buffer = io.BytesIO()
+    _SanitizingPickler(
+        buffer, protocol=pickle.HIGHEST_PROTOCOL
+    ).dump(payload)
+    return frame(buffer.getvalue())
 
 
 def load_artifact(blob: bytes):

@@ -53,11 +53,15 @@ from ..obs import (
     use_tracer,
 )
 from ..parallel import (
-    ItemFailure,
     ParallelMap,
+    TaskGraph,
+    WorkerPool,
+    in_worker,
+    resolve_backend,
     resolve_n_jobs,
     resolve_task_retries,
     resolve_task_timeout,
+    use_pool,
 )
 from ..resilience import (
     DEGRADATION_POLICIES,
@@ -561,6 +565,14 @@ def _preflight(raw: RawDataset, config: ExperimentConfig,
             report.raise_if_failed()
 
 
+def _warm_scenario_worker() -> None:
+    """Worker-pool warmup: pull in the fit/predict stack (tree kernels,
+    compiled-ensemble node tables, selection, improvement) before the
+    first chunk lands, so stage latency measures work, not imports."""
+    from ..ml import compiled, forest, importance  # noqa: F401
+    from . import fra, horizons, improvement, selection  # noqa: F401
+
+
 def _scenario_task(item: tuple, config: ExperimentConfig,
                    checkpoint: RunCheckpoint | None = None,
                    cache: CacheStore | None = None,
@@ -723,58 +735,88 @@ def run_experiment(config: ExperimentConfig | None = None,
     with use_tracer(tracer), use_metrics(metrics), cache_scope, \
             use_predictor(config.predictor), use_profiling(profile), \
             profiled_span("experiment.run"):
-        degradation_report: DegradationReport | None = None
-        if raw is None:
-            dkey = None
+        # The run is one dependency-aware task graph: dataset →
+        # preflight → scenarios → per-scenario tasks.  Nodes carrying a
+        # cache key are satisfied straight from the artifact store,
+        # checkpoint-restored scenarios are supplied without running,
+        # and the scenario wave is scheduled onto a persistent worker
+        # pool whose shared dataset carries the matrices zero-copy.
+        graph = TaskGraph()
+        scenario_cache_hits = [0]
+
+        def _cache_get(node_key, cache_key):
+            if store is None:
+                return False, None
+            value = store.get(cache_key)
+            if value is None:
+                return False, None
+            if node_key == "dataset":
+                log.info("dataset.cached", seed=config.simulation.seed)
+            elif node_key.startswith("scenario:"):
+                scenario_cache_hits[0] += 1
+            return True, value
+
+        def _cache_put(node_key, cache_key, value):
             if store is not None:
-                dkey = dataset_key(config.simulation, config.fault_plan,
-                                   config.degradation)
-                cached = store.get(dkey)
-                if cached is not None:
-                    raw, degradation_report = cached
-                    log.info("dataset.cached",
-                             seed=config.simulation.seed)
-        if raw is None:
+                store.put(cache_key, value)
+
+        degradation_report: DegradationReport | None = None
+        provided_raw = raw
+        if raw is None and store is not None:
+            dkey = dataset_key(config.simulation, config.fault_plan,
+                               config.degradation)
+
+        def _dataset_stage():
+            if provided_raw is not None:
+                return provided_raw, None
             resilient = (config.fault_plan is not None
                          or config.degradation != "abort")
             log.info("dataset.generate", seed=config.simulation.seed,
                      resilient=resilient)
             if resilient:
-                raw, degradation_report = resilient_raw_dataset(
+                return resilient_raw_dataset(
                     config.simulation,
                     plan=config.fault_plan,
                     policy=config.degradation,
                     retry=config.source_retry,
                 )
-            else:
-                raw = generate_raw_dataset(config.simulation)
-            if store is not None:
-                store.put(dkey, (raw, degradation_report))
+            return generate_raw_dataset(config.simulation), None
 
-        if config.validate_inputs:
-            _preflight(raw, config, log, metrics)
+        graph.add("dataset", _dataset_stage, cache_key=dkey,
+                  inline=True)
+        graph.run(cache_get=_cache_get, cache_put=_cache_put)
+        raw, degradation_report = graph.results["dataset"]
+
+        def _preflight_stage():
+            if config.validate_inputs:
+                _preflight(raw, config, log, metrics)
+
+        graph.add("preflight", _preflight_stage, deps=("dataset",),
+                  inline=True)
+        graph.run()
 
         # The digest ties every downstream cache entry to the actual
         # input bytes, covering callers that pass their own ``raw``.
         dataset_digest = (frame_digest(raw.features)
                           if store is not None else None)
+        skey = None
+        if store is not None:
+            skey = scenarios_key(dataset_digest, config.periods,
+                                 config.windows)
 
+        def _scenarios_stage():
+            return build_all_scenarios(
+                raw, periods=config.periods, windows=config.windows
+            )
+
+        graph.add("scenarios", _scenarios_stage, deps=("preflight",),
+                  cache_key=skey, inline=True)
         log.info("scenarios.build", periods=",".join(config.periods),
                  windows=",".join(str(w) for w in config.windows),
                  jobs=jobs)
         with tracer.span("pipeline.scenarios"):
-            scenarios = None
-            skey = None
-            if store is not None:
-                skey = scenarios_key(dataset_digest, config.periods,
-                                     config.windows)
-                scenarios = store.get(skey)
-            if scenarios is None:
-                scenarios = build_all_scenarios(
-                    raw, periods=config.periods, windows=config.windows
-                )
-                if store is not None:
-                    store.put(skey, scenarios)
+            graph.run(cache_get=_cache_get, cache_put=_cache_put)
+        scenarios = graph.results["scenarios"]
         metrics.gauge("experiment.scenarios").set(len(scenarios))
 
         fingerprint = None
@@ -817,25 +859,8 @@ def run_experiment(config: ExperimentConfig | None = None,
                 key: task_key(fingerprint, dataset_digest, key)
                 for key in scenarios
             }
-            cached_hits = 0
-            for key in scenarios:
-                if key in resumed:
-                    continue
-                hit = store.get(task_keys[key])
-                if hit is not None:
-                    resumed[key] = hit
-                    cached_hits += 1
-            if cached_hits:
-                metrics.counter("experiment.scenarios_cached").inc(
-                    cached_hits
-                )
-                log.info("scenario.cached", hits=cached_hits,
-                         remaining=len(scenarios) - len(resumed))
 
-        items = [
-            (key, scenario) for key, scenario in scenarios.items()
-            if key not in resumed
-        ]
+        pending = [key for key in scenarios if key not in resumed]
         # The cache kwargs ride along only when a store is active, so
         # cacheless runs call the task with its historical signature.
         task_kwargs = {"config": config, "checkpoint": checkpoint}
@@ -851,29 +876,73 @@ def run_experiment(config: ExperimentConfig | None = None,
             max_retries=config.task_retries,
             chunk_size=1 if deadline is not None else None,
         )
-        outcomes = mapper.map(
-            partial(_scenario_task, **task_kwargs),
-            items,
-            return_exceptions=(config.on_error == "capture"),
-        )
-
-        by_key: dict[str, tuple] = dict(resumed)
-        failures: dict[str, ScenarioFailure] = {}
-        for outcome in outcomes:
-            if isinstance(outcome, ItemFailure):
-                key = items[outcome.index][0]
-                failures[key] = ScenarioFailure(
-                    key=key,
-                    error_type=outcome.error_type,
-                    message=outcome.message,
-                    traceback=outcome.traceback,
+        # One persistent pool serves the whole fan-out (and any nested
+        # stage maps degrade to their serial in-worker paths exactly as
+        # before).  Its shared dataset publishes each scenario's
+        # matrices once; workers attach instead of unpickling them per
+        # chunk.  Lazy: if every node cache-hits, no process is forked.
+        pool = None
+        if (jobs > 1 and len(pending) > 1 and not in_worker()
+                and resolve_backend(None) == "process"):
+            pool = WorkerPool(n_jobs=jobs,
+                              warmup=_warm_scenario_worker)
+        for key, scenario in scenarios.items():
+            shipped = scenario
+            if pool is not None and key not in resumed:
+                shipped = replace(
+                    scenario,
+                    X=pool.dataset.share(scenario.X),
+                    y=pool.dataset.share(scenario.y),
                 )
-                metrics.counter("experiment.scenario_failures").inc()
-                log.error("scenario.failed", scenario=key,
-                          error=outcome.error_type,
-                          message=outcome.message)
-            else:
-                by_key[outcome[0]] = outcome
+            graph.add(
+                f"scenario:{key}",
+                partial(_scenario_task, (key, shipped), **task_kwargs),
+                deps=("scenarios",),
+                cache_key=task_keys.get(key),
+                store_result=False,  # the worker already cache.put()s
+            )
+            if key in resumed:
+                graph.supply(f"scenario:{key}", resumed[key])
+        try:
+            pool_scope = (use_pool(pool) if pool is not None
+                          else nullcontext())
+            with pool_scope:
+                graph.run(
+                    mapper=mapper,
+                    cache_get=_cache_get,
+                    cache_put=_cache_put,
+                    return_exceptions=(config.on_error == "capture"),
+                )
+        finally:
+            if pool is not None:
+                pool.close()
+        if scenario_cache_hits[0]:
+            metrics.counter("experiment.scenarios_cached").inc(
+                scenario_cache_hits[0]
+            )
+            log.info("scenario.cached", hits=scenario_cache_hits[0],
+                     remaining=len(pending) - scenario_cache_hits[0])
+
+        by_key: dict[str, tuple] = {}
+        failures: dict[str, ScenarioFailure] = {}
+        for node_key, failure in graph.failures.items():
+            if not node_key.startswith("scenario:"):
+                continue
+            key = node_key.split(":", 1)[1]
+            failures[key] = ScenarioFailure(
+                key=key,
+                error_type=failure.error_type,
+                message=failure.message,
+                traceback=failure.traceback,
+            )
+            metrics.counter("experiment.scenario_failures").inc()
+            log.error("scenario.failed", scenario=key,
+                      error=failure.error_type,
+                      message=failure.message)
+        for key in scenarios:
+            node_key = f"scenario:{key}"
+            if node_key in graph.results:
+                by_key[key] = graph.results[node_key]
 
         artifacts: dict[str, ScenarioArtifacts] = {}
         improvements_rf: list[ScenarioImprovement] = []

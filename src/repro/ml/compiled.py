@@ -54,6 +54,7 @@ pipeline drives it from ``ExperimentConfig.predictor`` (CLI:
 
 from __future__ import annotations
 
+import copy
 from contextlib import contextmanager
 from functools import partial
 
@@ -187,6 +188,19 @@ class CompiledEnsemble:
         return (f"CompiledEnsemble(kind={self.kind!r}, "
                 f"n_trees={self.n_trees}, n_nodes={self.n_nodes}, "
                 f"depth={self.depth}, binned={self.has_bins})")
+
+    def __shm_share__(self, share) -> "CompiledEnsemble":
+        """Copy with the flat node tables routed through the
+        shared-memory transport (:func:`repro.parallel.share_payload`
+        protocol), so a pooled fan-out ships the ensemble once per run
+        instead of once per chunk."""
+        clone = copy.copy(self)
+        for name in ("feature", "threshold", "left", "right", "value",
+                     "leaf_mask", "roots", "bin_threshold"):
+            table = getattr(clone, name)
+            if isinstance(table, np.ndarray):
+                setattr(clone, name, share(table))
+        return clone
 
     # ------------------------------------------------------------------
     def bin(self, X) -> np.ndarray:

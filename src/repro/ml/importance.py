@@ -9,11 +9,17 @@ Algorithm 1.
 
 from __future__ import annotations
 
+import time
 from functools import partial
 
 import numpy as np
 
-from ..parallel import ParallelMap, in_worker, resolve_n_jobs
+from ..parallel import (
+    ParallelMap,
+    in_worker,
+    pool_worthwhile,
+    resolve_n_jobs,
+)
 from .compiled import current_predictor, maybe_compile
 from .metrics import mean_squared_error
 
@@ -83,29 +89,32 @@ def _mean_delta(predictions, y, baseline, scoring, n_repeats, n_samples):
     return float(deltas.mean())
 
 
-def _feature_pfi(item, estimator, X, y, baseline, scoring,
+def _feature_pfi(j, perms, estimator, X, y, baseline, scoring,
                  compiled=None, codes=None):
-    """Mean score increase for one feature (a pure, shippable work unit).
+    """Mean score increase for feature ``j`` (a pure, shippable unit).
 
-    ``item`` is ``(feature_index, permutations)`` with pre-drawn
-    permutation index rows, so the result is independent of execution
-    order.  All repeats are stacked into one matrix and predicted in a
-    single call — tree ensembles amortise their per-call Python overhead
+    ``perms`` is the full ``(n_features, n_repeats, n_samples)`` block
+    of pre-drawn permutation index rows — workers slice their own
+    feature's rows, so under the shared-memory transport the block
+    ships by reference once and the per-item payload is a bare index.
+    All repeats are stacked into one matrix and predicted in a single
+    call — tree ensembles amortise their per-call Python overhead
     across every repeat.
 
     ``compiled`` routes prediction through a
-    :class:`~repro.ml.compiled.CompiledEnsemble`; ``codes`` additionally
-    replaces ``X`` with its ``uint8`` bin codes (binning is elementwise
-    per column, so permuting a code column equals binning the permuted
-    raw column — the two paths stay bit-identical).
+    :class:`~repro.ml.compiled.CompiledEnsemble` (``estimator`` is then
+    ``None`` — no reason to ship the fitted model twice); ``codes``
+    additionally replaces ``X`` with its ``uint8`` bin codes (binning
+    is elementwise per column, so permuting a code column equals
+    binning the permuted raw column — the two paths stay bit-identical).
     """
-    j, perms = item
-    n_repeats, n_samples = perms.shape
+    reps = perms[j]
+    n_repeats, n_samples = reps.shape
     base = codes if codes is not None else X
     stacked = np.tile(base, (n_repeats, 1))
     # One gather fills the permuted column for every repeat at once:
-    # base[:, j][perms] is (n_repeats, n_samples) laid out in repeat order.
-    stacked[:, j] = base[:, j][perms].ravel()
+    # base[:, j][reps] is (n_repeats, n_samples) laid out in repeat order.
+    stacked[:, j] = base[:, j][reps].ravel()
     if codes is not None:
         predictions = compiled.predict_binned(stacked)
     elif compiled is not None:
@@ -177,23 +186,34 @@ def permutation_importance(
         compiled = maybe_compile(estimator)
         if compiled is not None and compiled.has_bins:
             codes = compiled.bin(X)
+    started = time.perf_counter()
     baseline = float(scoring(y, estimator.predict(X)))
+    predict_seconds = time.perf_counter() - started
     n_samples, n_features = X.shape
     perms = np.empty((n_features, n_repeats, n_samples), dtype=np.intp)
     for j in range(n_features):
         for r in range(n_repeats):
             perms[j, r] = rng.permutation(n_samples)
+    # The baseline predict just timed one n_samples pass; every feature
+    # costs ~n_repeats such passes, so the whole PFI is about this much
+    # work. Below the pool-amortisation threshold fanning out is a net
+    # loss and the batched serial path wins outright.
+    cost_hint = predict_seconds * n_features * n_repeats
     if compiled is not None and (resolve_n_jobs(n_jobs) <= 1
-                                 or in_worker()):
+                                 or in_worker()
+                                 or not pool_worthwhile(cost_hint)):
         # The serial path (the common case inside pipeline workers)
         # batches every feature's permutations through predict_many.
         values = _pfi_batched(compiled, X, codes, y, perms, baseline,
                               scoring)
         return np.asarray(values, dtype=np.float64)
-    score_one = partial(_feature_pfi, estimator=estimator, X=X, y=y,
-                        baseline=baseline, scoring=scoring,
-                        compiled=compiled, codes=codes)
-    values = ParallelMap(n_jobs).map(
-        score_one, ((j, perms[j]) for j in range(n_features))
+    score_one = partial(
+        _feature_pfi, perms=perms,
+        estimator=None if compiled is not None else estimator,
+        X=None if codes is not None else X, y=y,
+        baseline=baseline, scoring=scoring,
+        compiled=compiled, codes=codes,
     )
+    values = ParallelMap(n_jobs).map(score_one, range(n_features),
+                                     cost_hint=cost_hint)
     return np.asarray(values, dtype=np.float64)

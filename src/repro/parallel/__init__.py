@@ -43,22 +43,46 @@ from .executor import (
     WorkerCrash,
     in_worker,
     parallel_map,
+    pool_worthwhile,
     resolve_backend,
+    resolve_min_cost,
     resolve_n_jobs,
     resolve_task_retries,
     resolve_task_timeout,
 )
+from .graph import TaskGraph
+from .pool import WorkerPool, current_pool, use_pool
 from .seeding import spawn_seeds
+from .shm import (
+    SharedArray,
+    SharedDataset,
+    SharedMatrix,
+    SharedSegmentGone,
+    share_payload,
+    shm_enabled,
+)
 
 __all__ = [
     "ItemFailure",
     "ParallelMap",
+    "SharedArray",
+    "SharedDataset",
+    "SharedMatrix",
+    "SharedSegmentGone",
+    "TaskGraph",
     "WorkerCrash",
+    "WorkerPool",
+    "current_pool",
     "in_worker",
     "parallel_map",
+    "pool_worthwhile",
     "resolve_backend",
+    "resolve_min_cost",
     "resolve_n_jobs",
     "resolve_task_retries",
     "resolve_task_timeout",
+    "share_payload",
+    "shm_enabled",
     "spawn_seeds",
+    "use_pool",
 ]

@@ -36,7 +36,6 @@ to bind the shared arrays.
 
 from __future__ import annotations
 
-import math
 import os
 import pickle
 import threading
@@ -67,7 +66,9 @@ __all__ = [
     "WorkerCrash",
     "in_worker",
     "parallel_map",
+    "pool_worthwhile",
     "resolve_backend",
+    "resolve_min_cost",
     "resolve_n_jobs",
     "resolve_task_retries",
     "resolve_task_timeout",
@@ -80,6 +81,13 @@ BACKENDS = ("process", "thread", "serial")
 #: Environment variables honoured by the resolution chain.
 ENV_JOBS = "REPRO_JOBS"
 ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+ENV_MIN_COST = "REPRO_PARALLEL_MIN_COST"
+
+#: Below this much estimated serial work (seconds) a fan-out is cheaper
+#: to run inline than to ship to a pool: fork + pickle + collect costs
+#: a few hundred milliseconds that a small map never earns back (the
+#: source of the historical PFI 0.85x regression on small models).
+DEFAULT_MIN_COST_S = 0.25
 
 _worker_state = threading.local()
 
@@ -129,6 +137,54 @@ def resolve_backend(backend: str | None = None) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+def resolve_min_cost(min_cost: float | None = None) -> float:
+    """Pool amortization threshold (seconds): arg →
+    ``$REPRO_PARALLEL_MIN_COST`` → 0.25.  ``0`` disables the serial
+    fallback entirely (every hinted map fans out)."""
+    if min_cost is None:
+        env = os.environ.get(ENV_MIN_COST, "").strip()
+        if not env:
+            return DEFAULT_MIN_COST_S
+        try:
+            min_cost = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_MIN_COST} must be a number of seconds, got {env!r}"
+            ) from None
+    if min_cost < 0:
+        raise ValueError(f"min cost must be >= 0, got {min_cost!r}")
+    return float(min_cost)
+
+
+def pool_worthwhile(cost_hint: float | None,
+                    min_cost: float | None = None) -> bool:
+    """Whether ``cost_hint`` seconds of estimated serial work amortizes
+    a process fan-out.  ``None`` (no estimate) errs on fanning out."""
+    if cost_hint is None:
+        return True
+    return float(cost_hint) >= resolve_min_cost(min_cost)
+
+
+def _balanced_chunks(items: list, n_chunks: int) -> list:
+    """Split ``items`` into exactly ``n_chunks`` contiguous chunks whose
+    sizes differ by at most one.
+
+    The old ``ceil(len/n_jobs)``-sized chunking could produce *fewer*
+    chunks than workers (e.g. 5 items / 4 jobs → sizes ``[2, 2, 1]``,
+    one worker idle); balanced splitting gives ``[2, 1, 1, 1]`` so
+    every leased worker gets work.
+    """
+    quotient, remainder = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = quotient + (1 if i < remainder else 0)
+        if size:
+            chunks.append((start, items[start:start + size]))
+        start += size
+    return chunks
 
 
 def _capture_call(fn, item, index: int, ship_across_process: bool):
@@ -249,11 +305,18 @@ class ParallelMap:
         self.max_retries = resolve_task_retries(max_retries)
 
     # ------------------------------------------------------------------
-    def map(self, fn, items, return_exceptions: bool = False) -> list:
+    def map(self, fn, items, return_exceptions: bool = False,
+            cost_hint: float | None = None) -> list:
         """``[fn(item) for item in items]``, possibly across workers.
 
         Results preserve item order.  Under the ``process`` backend
         ``fn`` (plus bound arguments) and the items must be picklable.
+
+        ``cost_hint`` is the caller's estimate of the *total serial*
+        seconds the map represents; a hinted map below the pool
+        amortization threshold (``$REPRO_PARALLEL_MIN_COST`` → 0.25 s)
+        runs inline instead of paying fork + pickle overhead it cannot
+        earn back (counted by ``parallel.serial_fallbacks``).
 
         With ``return_exceptions=True`` an item whose call raises an
         ``Exception`` contributes an :class:`ItemFailure` (carrying the
@@ -268,7 +331,12 @@ class ParallelMap:
         """
         items = list(items)
         n_jobs = min(self.n_jobs, len(items))
-        if (n_jobs <= 1 or self.backend == "serial" or in_worker()):
+        serial = n_jobs <= 1 or self.backend == "serial" or in_worker()
+        if (not serial and self.backend == "process"
+                and not pool_worthwhile(cost_hint)):
+            current_metrics().counter("parallel.serial_fallbacks").inc()
+            serial = True
+        if serial:
             if return_exceptions:
                 return [
                     _capture_call(fn, item, index,
@@ -277,10 +345,14 @@ class ParallelMap:
                 ]
             return [fn(item) for item in items]
 
-        size = self.chunk_size or math.ceil(len(items) / n_jobs)
-        chunks = [
-            (i, items[i:i + size]) for i in range(0, len(items), size)
-        ]
+        if self.chunk_size is not None:
+            size = self.chunk_size
+            chunks = [
+                (i, items[i:i + size])
+                for i in range(0, len(items), size)
+            ]
+        else:
+            chunks = _balanced_chunks(items, n_jobs)
         tracer = current_tracer()
         parent_id = tracer.current_span_id()
 
@@ -325,7 +397,29 @@ class ParallelMap:
 
     def _map_processes(self, fn, items, chunks, n_jobs, parent_id,
                        return_exceptions: bool) -> list:
-        """Process backend: supervised pools that survive worker death."""
+        """Process backend: supervised pools that survive worker death.
+
+        When a persistent :class:`~repro.parallel.pool.WorkerPool` is
+        installed (:func:`~repro.parallel.pool.use_pool`) its executor
+        is leased instead of building a throwaway pool, and large
+        arrays bound into ``fn`` are published to the pool's shared
+        dataset so they ship by reference.  Without a pool the arrays
+        are published to an ephemeral dataset that lives exactly as
+        long as this call.
+        """
+        from .pool import current_pool
+        from .shm import SharedDataset, share_payload, shm_enabled
+
+        pool = current_pool()
+        ephemeral = None
+        if shm_enabled():
+            dataset = pool.dataset if pool is not None else None
+            if dataset is None:
+                ephemeral = dataset = SharedDataset()
+            fn = share_payload(fn, dataset.share)
+            if ephemeral is not None and not len(ephemeral):
+                ephemeral.close()  # nothing published: no segment cost
+                ephemeral = None
         runner = partial(_run_chunk_process, fn,
                          capture=return_exceptions)
         tracer = current_tracer()
@@ -349,7 +443,8 @@ class ParallelMap:
             return [fn(item) for item in chunk_items]
 
         supervisor = Supervisor(
-            make_executor=self._make_executor,
+            make_executor=(pool.lease if pool is not None
+                           else self._make_executor),
             runner=runner,
             collect=collect,
             fallback=fallback,
@@ -357,8 +452,13 @@ class ParallelMap:
             timeout=self.timeout,
             max_retries=self.max_retries,
             return_exceptions=return_exceptions,
+            reap=pool.reap if pool is not None else None,
         )
-        return supervisor.run(chunks, len(items))
+        try:
+            return supervisor.run(chunks, len(items))
+        finally:
+            if ephemeral is not None:
+                ephemeral.close()
 
     # ------------------------------------------------------------------
     def _make_executor(self, max_workers: int):

@@ -34,6 +34,7 @@ other metric.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from collections import deque
 from concurrent.futures import BrokenExecutor, wait
@@ -68,6 +69,19 @@ DEFAULT_TASK_RETRIES = 16
 _POLL_S = 0.05
 
 _UNSET = object()
+
+
+def _shipped_bytes(runner, items) -> int:
+    """Size of the pickle stream a chunk submission pushes through the
+    pool's call pipe (fn payload + items).  Feeds the
+    ``parallel.bytes_shipped`` counter — the observable that the
+    shared-memory transport exists to shrink.  Never raises: an
+    unpicklable payload is about to fail in ``submit`` anyway."""
+    try:
+        return len(pickle.dumps((runner, items),
+                                pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
 
 
 class WorkerCrash(RuntimeError):
@@ -212,7 +226,8 @@ class Supervisor:
                  n_jobs: int, timeout: float | None = None,
                  max_retries: int | None = None,
                  return_exceptions: bool = False,
-                 poll_s: float = _POLL_S, clock=time.monotonic):
+                 poll_s: float = _POLL_S, clock=time.monotonic,
+                 reap=None):
         self.make_executor = make_executor
         self.runner = runner
         self.collect = collect
@@ -223,6 +238,10 @@ class Supervisor:
         self.return_exceptions = return_exceptions
         self.poll_s = poll_s
         self._clock = clock
+        #: ``(executor, kill) -> deaths`` teardown; a persistent
+        #: :class:`~repro.parallel.pool.WorkerPool` overrides it to
+        #: keep its executor alive across clean rounds.
+        self.reap = reap if reap is not None else self._reap
 
     # ------------------------------------------------------------------
     def run(self, chunks, n_items: int) -> list:
@@ -311,8 +330,12 @@ class Supervisor:
         timed_out: set = set()
         broken = False
         error = None
+        metrics = current_metrics()
         try:
             for chunk in batch:
+                metrics.counter("parallel.bytes_shipped").inc(
+                    _shipped_bytes(self.runner, chunk.items)
+                )
                 futures[executor.submit(
                     self.runner, chunk.items, base_index=chunk.base
                 )] = chunk
@@ -350,7 +373,7 @@ class Supervisor:
                 started = running_since.setdefault(future, now)
                 if now - started >= self.timeout:
                     timed_out.add(futures[future])
-        deaths = self._reap(
+        deaths = self.reap(
             executor, kill=broken or bool(timed_out) or error is not None
         )
         if error is not None:
