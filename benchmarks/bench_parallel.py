@@ -14,6 +14,14 @@ process boundary with zero-copy segments than with plain pickling.
 Unlike wall-clock speedups this ratio is host-independent, so it gates
 in the perf-regression job on any runner.
 
+The forest-fit entry additionally records
+``speedup_2jobs_vs_serial`` — serial wall-clock over two-worker
+wall-clock for the same fit — and ``--assert-forest-2jobs FLOOR``
+turns it into a hard exit code. The parallel-scaling CI job passes a
+floor well below 1.0: it is not a scaling claim (a single-core runner
+cannot exceed 1.0) but a regression tripwire for the two-worker path
+collapsing under transport or scheduling overhead.
+
 Run directly — intentionally **not** a pytest module, because measured
 speedups depend on the host and would make flaky assertions::
 
@@ -25,6 +33,7 @@ bench doubles as a determinism audit at realistic sizes.
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import os
 import sys
@@ -173,7 +182,15 @@ def bench_shm_transport() -> dict:
     }
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--assert-forest-2jobs", type=float, default=None, metavar="FLOOR",
+        help="exit 1 unless the forest-fit 2-worker wall-clock speedup "
+             "meets this floor (CI tripwire; use < 1.0 for single-core "
+             "hosts)",
+    )
+    args = parser.parse_args(argv)
     benchmarks = {}
     for name, bench in BENCHES.items():
         timings = {}
@@ -203,6 +220,13 @@ def main() -> int:
             "deterministic": identical,
             **transport,
         }
+        if name == "forest_fit":
+            # The wall-clock floor the parallel-scaling CI job gates:
+            # serial over two-worker time for the same fit.
+            benchmarks[name]["speedup_2jobs_vs_serial"] = round(
+                timings["1"] / timings["2"] if timings["2"]
+                else float("nan"), 2,
+            )
         print(f"{name:14s} " + "  ".join(
             f"n_jobs={j}: {timings[str(j)]:7.3f}s" for j in JOBS
         ) + f"  identical={identical}")
@@ -220,9 +244,17 @@ def main() -> int:
               "overhead and determinism, not scaling. "
               "speedup_bytes_reduction is host-independent: pickled "
               "transport bytes divided by shared-memory transport "
-              "bytes for the same two-worker fit"),
+              "bytes for the same two-worker fit. "
+              "speedup_2jobs_vs_serial is the forest-fit wall-clock "
+              "floor the parallel-scaling job asserts"),
     )
     print(f"wrote {out}")
+    two_jobs = benchmarks["forest_fit"]["speedup_2jobs_vs_serial"]
+    if (args.assert_forest_2jobs is not None
+            and not two_jobs >= args.assert_forest_2jobs):
+        print(f"FAIL: forest-fit 2-worker speedup {two_jobs} below "
+              f"floor {args.assert_forest_2jobs}")
+        return 1
     return 0
 
 

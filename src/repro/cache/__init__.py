@@ -53,6 +53,7 @@ from .keys import (
     fingerprint_parts,
     frame_digest,
     model_fit_key,
+    range_digest,
     scenarios_key,
     task_key,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "load_artifact",
     "model_fit_key",
     "quarantine_entry",
+    "range_digest",
     "scenarios_key",
     "task_key",
     "use_cache",

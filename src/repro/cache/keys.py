@@ -32,6 +32,7 @@ __all__ = [
     "fingerprint_parts",
     "frame_digest",
     "model_fit_key",
+    "range_digest",
     "scenarios_key",
     "task_key",
 ]
@@ -73,6 +74,24 @@ def frame_digest(frame) -> str:
     )
 
 
+def range_digest(frame, start=None, end=None) -> str:
+    """Digest of only the rows with dates in the inclusive ``[start,
+    end]`` range — the range-granular building block for period-scoped
+    keys.
+
+    Downstream consumers that slice their input to a fixed date range
+    (the scenario builder) are untouched by rows outside it, so their
+    cache addresses should be too: appending rows after ``end`` (the
+    :mod:`repro.incremental` update path) leaves this digest — and
+    every key built from it — unchanged, while any change *inside* the
+    range shifts it. A monolithic :func:`frame_digest` of the full
+    frame would invalidate everything on a one-day extension.
+    """
+    return fingerprint_parts(
+        "range", (start, end), frame_digest(frame.loc_range(start, end))
+    )
+
+
 def dataset_key(simulation_config, fault_plan=None, degradation=None) -> str:
     """Key for a generated raw dataset.
 
@@ -85,8 +104,14 @@ def dataset_key(simulation_config, fault_plan=None, degradation=None) -> str:
     )
 
 
-def scenarios_key(dataset_digest: str, periods, windows) -> str:
-    """Key for the engineered per-scenario feature frames."""
+def scenarios_key(dataset_digest, periods, windows) -> str:
+    """Key for the engineered per-scenario feature frames.
+
+    ``dataset_digest`` is the data-content part of the address — the
+    pipeline passes the tuple of per-period :func:`range_digest`-based
+    digests (see :func:`repro.core.scenarios.period_digests`), so the
+    key survives append-only extensions past the period ends.
+    """
     return fingerprint_parts(
         "scenarios", dataset_digest, tuple(periods), tuple(windows)
     )
@@ -97,8 +122,13 @@ def task_key(config_fingerprint: str, dataset_digest: str,
     """Key for one scenario's full pipeline result (selection + models).
 
     ``config_fingerprint`` must already exclude execution-shape fields;
-    ``dataset_digest`` ties the entry to the actual input data, covering
-    callers that pass a custom ``raw`` dataset into ``run_experiment``.
+    ``dataset_digest`` ties the entry to the input data the scenario can
+    actually see — the pipeline passes the scenario's *period* digest
+    (:func:`repro.core.scenarios.period_digests`) rather than a
+    whole-dataset digest, so extending the dataset past the period's
+    end re-serves the cached task. Callers that pass a custom ``raw``
+    dataset into ``run_experiment`` are still covered: the digest is
+    computed from the bytes actually supplied.
     """
     return fingerprint_parts(
         "task", config_fingerprint, dataset_digest, scenario_key

@@ -9,6 +9,12 @@ Commands
     Execute the full experiment at a chosen preset and print every
     reproduced table; optionally write them to a report file and the
     span trace to a JSONL file.
+``update``
+    Append-only incremental update (:mod:`repro.incremental`): extend
+    the dataset by ``--days`` simulated days and re-run the experiment
+    against the same artifact cache, re-serving every scenario whose
+    period the new rows do not touch. Bit-identical to a cold rerun at
+    the extended length; ledger records link to the parent run.
 ``index``
     Print the Crypto100 scaling-factor analysis (Figures 1-2 data).
 ``trace-summary``
@@ -35,6 +41,9 @@ Examples::
 
     python -m repro simulate --out data/ --seed 7
     python -m repro run --preset fast --seed 7 --report report.txt
+    python -m repro run --preset default --cache-dir cache/ --ledger runs.jsonl
+    python -m repro update --preset default --days 1 --cache-dir cache/ \
+        --ledger runs.jsonl
     python -m repro run --preset fast --trace t.jsonl --log-level info
     python -m repro run --preset fast --checkpoint-dir ckpt/
     python -m repro run --preset fast --resume ckpt/
@@ -255,6 +264,52 @@ def build_parser() -> argparse.ArgumentParser:
                           "tracemalloc peak, max-RSS, GC passes); also "
                           "enabled by REPRO_PROFILE=1")
 
+    update = sub.add_parser(
+        "update",
+        help="append-only incremental update of a previous run",
+    )
+    update.add_argument("--days", type=_positive_int, default=1,
+                        help="simulated days to append (default 1)")
+    update.add_argument("--preset", choices=sorted(_PRESETS),
+                        default="fast",
+                        help="the parent run's preset (the update "
+                             "derives the extended config itself)")
+    update.add_argument("--seed", type=int, default=20240701,
+                        help="the parent run's simulation seed")
+    update.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the scenario fan-out")
+    update.add_argument("--splitter", choices=("exact", "hist"),
+                        default=None,
+                        help="tree-growth kernel (must match the parent "
+                             "run for its cached tasks to be reused)")
+    update.add_argument("--predictor", choices=("compiled", "naive"),
+                        default=None,
+                        help="ensemble inference path (bit-identical "
+                             "either way)")
+    update.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="the parent run's artifact cache — what "
+                             "makes the update incremental "
+                             "(default: $REPRO_CACHE_DIR if set)")
+    update.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache even when "
+                             "$REPRO_CACHE_DIR is set (the update then "
+                             "runs as a plain cold run)")
+    update.add_argument("--checkpoint-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="persist each finished scenario to this "
+                             "directory (atomic, per-scenario)")
+    update.add_argument("--ledger", type=Path, default=None,
+                        metavar="PATH",
+                        help="append one kind=update record linked to "
+                             "the parent run's fingerprint "
+                             "(default: $REPRO_LEDGER if set)")
+    update.add_argument("--report", type=Path, default=None,
+                        help="also write the rendered tables to this "
+                             "file")
+    update.add_argument("--quiet", action="store_true",
+                        help="suppress progress logging")
+
     chaos = sub.add_parser(
         "chaos",
         help="clean-vs-faulted run: per-category forecast degradation",
@@ -293,7 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: $REPRO_LEDGER)")
     report.add_argument("--last", type=_positive_int, default=None,
                         metavar="N", help="only the N newest records")
-    report.add_argument("--kind", choices=("run", "chaos", "bench"),
+    report.add_argument("--kind",
+                        choices=("run", "update", "chaos", "bench"),
                         default=None, help="filter by record kind")
     report.add_argument("--run", default=None, metavar="ID",
                         help="full detail (stage breakdown, counters) "
@@ -544,6 +600,62 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_update(args) -> int:
+    import dataclasses
+
+    from .incremental import update_experiment
+
+    config = _PRESETS[args.preset](seed=args.seed)
+    if config.verbose == args.quiet:  # align verbosity with --quiet
+        config = dataclasses.replace(config, verbose=not args.quiet)
+    if args.jobs is not None:
+        config = dataclasses.replace(config, n_jobs=args.jobs)
+    if args.splitter is not None:
+        config = dataclasses.replace(config, splitter=args.splitter)
+    if args.predictor is not None:
+        config = dataclasses.replace(config, predictor=args.predictor)
+
+    ledger_path = args.ledger if args.ledger is not None \
+        else os.environ.get("REPRO_LEDGER") or None
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir is not None \
+            else os.environ.get("REPRO_CACHE_DIR") or None
+    if cache_dir is None:
+        print("note: no artifact cache (--cache-dir or $REPRO_CACHE_DIR) "
+              "— the update runs cold")
+
+    update = update_experiment(
+        config,
+        days=args.days,
+        checkpoint_dir=(str(args.checkpoint_dir)
+                        if args.checkpoint_dir is not None else None),
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        ledger_path=(str(ledger_path)
+                     if ledger_path is not None else None),
+    )
+    lines = [
+        f"update: +{update.days} day(s) -> "
+        f"{update.config.simulation.end}",
+        f"  dataset: "
+        f"{'spliced from parent' if update.dataset_reused else 'cold'}",
+        f"  scenarios: {update.scenarios_cached}/{update.scenarios_total}"
+        f" served from cache",
+        f"  runtime: {format_runtime(update.runtime_seconds)}",
+    ]
+    if update.parent_run_id is not None:
+        lines.append(f"  parent run: {update.parent_run_id}")
+    print("\n".join(lines))
+    print()
+    report = _render_full_report(update.results)
+    print(report)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report + "\n")
+        print(f"\nreport written to {args.report}")
+    return 0 if update.results.complete else 1
+
+
 def _cmd_chaos(args) -> int:
     import dataclasses
 
@@ -743,6 +855,7 @@ def main(argv=None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "run": _cmd_run,
+        "update": _cmd_update,
         "chaos": _cmd_chaos,
         "report": _cmd_report,
         "bench": _cmd_bench,

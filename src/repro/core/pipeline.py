@@ -97,6 +97,7 @@ from .scenarios import (
     PREDICTION_WINDOWS,
     Scenario,
     build_all_scenarios,
+    period_digests,
 )
 from .selection import SelectionResult, SHAPConfig, select_final_features
 
@@ -795,14 +796,20 @@ def run_experiment(config: ExperimentConfig | None = None,
                   inline=True)
         graph.run()
 
-        # The digest ties every downstream cache entry to the actual
-        # input bytes, covering callers that pass their own ``raw``.
-        dataset_digest = (frame_digest(raw.features)
-                          if store is not None else None)
+        # Range-granular digests tie every downstream cache entry to
+        # the input bytes each period can actually see — covering
+        # callers that pass their own ``raw``, and leaving every key
+        # unchanged when rows are appended *after* a period's end (the
+        # :mod:`repro.incremental` update path, which is what turns a
+        # daily refresh into cache reads plus a handful of tail tasks).
+        digests = (period_digests(raw, config.periods)
+                   if store is not None else None)
         skey = None
         if store is not None:
-            skey = scenarios_key(dataset_digest, config.periods,
-                                 config.windows)
+            skey = scenarios_key(
+                tuple(digests[p] for p in config.periods),
+                config.periods, config.windows,
+            )
 
         def _scenarios_stage():
             return build_all_scenarios(
@@ -855,8 +862,23 @@ def run_experiment(config: ExperimentConfig | None = None,
 
         task_keys: dict[str, str] = {}
         if store is not None:
+            # Each scenario is addressed by its own period's digest, so
+            # tasks in untouched periods survive a dataset extension.
+            # The simulation config is dropped from the task address:
+            # everything it can change about a scenario is already in
+            # the period digest, so an extended run (new simulation
+            # end, same in-period bytes) re-serves every cached task.
+            # Checkpoints and the ledger keep the full fingerprint —
+            # resuming is stricter than cache addressing.
+            task_fingerprint = config_fingerprint(
+                replace(config, simulation=SimulationConfig(),
+                        n_jobs=None, verbose=False,
+                        predictor="compiled", profile=False,
+                        task_timeout=None, task_retries=None)
+            )
             task_keys = {
-                key: task_key(fingerprint, dataset_digest, key)
+                key: task_key(task_fingerprint,
+                              digests[key.rsplit("_", 1)[0]], key)
                 for key in scenarios
             }
 
@@ -968,8 +990,10 @@ def run_experiment(config: ExperimentConfig | None = None,
         }
         if dkey is not None:
             cache_info["dataset_key"] = dkey
-        if store is not None and dataset_digest is not None:
-            cache_info["dataset_digest"] = dataset_digest
+        if store is not None and digests is not None:
+            cache_info["dataset_digest"] = frame_digest(raw.features)
+            for period, digest in digests.items():
+                cache_info[f"period_digest_{period}"] = digest
         record = RunRecord(
             kind="run",
             status="ok" if not failures else "partial",

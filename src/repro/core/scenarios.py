@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..cache import fingerprint_parts, range_digest
 from ..categories import DataCategory
 from ..frame.frame import Frame
 from ..obs import span
@@ -31,6 +32,7 @@ __all__ = [
     "Scenario",
     "build_scenario",
     "build_all_scenarios",
+    "period_digests",
     "scenario_key",
 ]
 
@@ -155,6 +157,42 @@ def build_scenario(
             categories={n: raw.categories[n] for n in names},
             cleaning_report=report,
         )
+
+
+def period_digests(raw: RawDataset, periods=None) -> dict[str, str]:
+    """Per-period content digests for range-granular cache keys.
+
+    A scenario sees only the feature/target rows inside its period's
+    fixed ``[start, end]`` range (see :data:`PERIODS`), so its cache
+    address only needs to cover those bytes. Keying scenario artifacts
+    by these digests instead of a monolithic whole-dataset digest is
+    what lets an append-only dataset extension (:mod:`repro.incremental`)
+    reuse every cached scenario whose range the new rows do not touch:
+    extending past a period's ``end`` leaves that period's digest — and
+    every key built from it — unchanged, while any change *inside* the
+    range (different seed, fault corruption, in-range extension) shifts
+    it and forces a recompute.
+    """
+    periods = list(PERIODS) if periods is None else list(periods)
+    unknown = [p for p in periods if p not in PERIODS]
+    if unknown:
+        raise ValueError(
+            f"unknown periods {unknown}; choose from {list(PERIODS)}"
+        )
+    target = Frame(
+        raw.features.index,
+        {"crypto100": crypto100_index(raw.universe)["crypto100"]},
+    )
+    out = {}
+    for period in periods:
+        start, end = PERIODS[period]
+        out[period] = fingerprint_parts(
+            "period-data",
+            (start, end),
+            range_digest(raw.features, start, end),
+            range_digest(target, start, end),
+        )
+    return out
 
 
 def build_all_scenarios(

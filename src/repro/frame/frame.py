@@ -280,6 +280,44 @@ class Frame:
         """The last ``n`` rows as a new frame."""
         return self.iloc(slice(max(len(self) - n, 0), len(self)))
 
+    def append_rows(self, other: "Frame") -> "Frame":
+        """Return a frame with ``other``'s rows appended below this one.
+
+        ``other`` must have exactly this frame's columns (same order)
+        and an index starting strictly after this frame's last date.
+        Each column is concatenated with a single allocation — the
+        constructor's convert-then-copy pass is bypassed — which is
+        what the incremental update path (:mod:`repro.incremental`)
+        relies on for cheap row growth.
+        """
+        if not isinstance(other, Frame):
+            raise TypeError("append_rows expects a Frame")
+        if other._names != self._names:
+            raise ValueError("column names/order differ")
+        if len(other) == 0:
+            return self
+        if len(self) and (
+            other._index.ordinals[0] <= self._index.ordinals[-1]
+        ):
+            raise ValueError(
+                "appended rows must start after the frame's last date"
+            )
+        index = DateIndex(
+            np.concatenate((self._index.ordinals, other._index.ordinals)),
+            _validated=True,
+        )
+        frame = Frame.__new__(Frame)
+        frame._index = index
+        frame._names = list(self._names)
+        frame._data = {}
+        frame._matrix = None
+        frame._matrix_src = None
+        for name in self._names:
+            arr = np.concatenate((self._data[name], other._data[name]))
+            arr.flags.writeable = False
+            frame._data[name] = arr
+        return frame
+
     # ------------------------------------------------------------------
     # Alignment
     # ------------------------------------------------------------------

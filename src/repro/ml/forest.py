@@ -21,6 +21,7 @@ from ..obs import current_metrics, span
 from ..parallel import ParallelMap, spawn_seeds
 from .compiled import current_predictor, ensemble_compiled
 from .tree import DecisionTreeRegressor, bin_features
+from .warm import fit_signature, reusable_members
 
 __all__ = ["RandomForestRegressor"]
 
@@ -102,6 +103,8 @@ class RandomForestRegressor:
         self.n_features_in_: int | None = None
         self.bin_cuts_: tuple | None = None
         self._compiled_ = None
+        self._fit_signature_: tuple | None = None
+        self._compile_reuse_ = None
 
     # ------------------------------------------------------------------
     def get_params(self) -> dict:
@@ -128,8 +131,18 @@ class RandomForestRegressor:
         return self
 
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "RandomForestRegressor":
-        """Fit the estimator on (X, y); returns self."""
+    def fit(self, X, y, warm_start_from=None) -> "RandomForestRegressor":
+        """Fit the estimator on (X, y); returns self.
+
+        ``warm_start_from`` may be a previously fitted forest: when its
+        fit signature matches this fit's — same parameters apart from
+        ``n_estimators``/``n_jobs`` and the same training bytes (see
+        :mod:`repro.ml.warm`) — its member trees are reused verbatim
+        and only the seed-tail trees are fitted. ``spawn_seeds`` is
+        prefix-stable, so the warm result is bit-identical to a cold
+        fit at the new ``n_estimators``; signature mismatches fall back
+        to a full cold fit.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2:
@@ -145,15 +158,34 @@ class RandomForestRegressor:
             "min_impurity_decrease": self.min_impurity_decrease,
             "splitter": self.splitter,
         }
+        signature = fit_signature(self, X, y)
+        reused = reusable_members(self, warm_start_from, signature)
         with span("ml.forest_fit", splitter=self.splitter,
-                  n_estimators=self.n_estimators):
-            bins = bin_features(X) if self.splitter == "hist" else None
-            self.bin_cuts_ = bins.cuts if bins is not None else None
+                  n_estimators=self.n_estimators,
+                  reused=0 if reused is None else len(reused)):
             self._compiled_ = None
-            seeds = spawn_seeds(self.random_state, self.n_estimators)
-            fit_one = partial(_fit_tree, X=X, y=y, tree_params=tree_params,
-                              bootstrap=self.bootstrap, bins=bins)
-            self.estimators_ = ParallelMap(self.n_jobs).map(fit_one, seeds)
+            self._compile_reuse_ = None
+            if reused is not None and len(reused) == self.n_estimators:
+                self.bin_cuts_ = warm_start_from.bin_cuts_
+                self.estimators_ = reused
+            else:
+                bins = bin_features(X) if self.splitter == "hist" else None
+                self.bin_cuts_ = bins.cuts if bins is not None else None
+                seeds = spawn_seeds(self.random_state, self.n_estimators)
+                fit_one = partial(
+                    _fit_tree, X=X, y=y, tree_params=tree_params,
+                    bootstrap=self.bootstrap, bins=bins,
+                )
+                fresh = ParallelMap(self.n_jobs).map(
+                    fit_one, seeds[len(reused or ()):]
+                )
+                self.estimators_ = (reused or []) + fresh
+            self._fit_signature_ = signature
+            if reused is not None and len(reused) == len(
+                    warm_start_from.estimators_):
+                prev_compiled = getattr(warm_start_from, "_compiled_", None)
+                if prev_compiled is not None:
+                    self._compile_reuse_ = (prev_compiled, len(reused))
         return self
 
     def predict(self, X) -> np.ndarray:

@@ -119,7 +119,7 @@ class RunRecord:
     """One ledger line: everything needed to compare runs later."""
 
     kind: str
-    """``"run"``, ``"chaos"``, or ``"bench"``."""
+    """``"run"``, ``"update"``, ``"chaos"``, or ``"bench"``."""
 
     status: str = "ok"
     """``"ok"``, ``"partial"`` (some scenarios failed), or ``"failed"``."""
@@ -399,6 +399,13 @@ def render_record(record: RunRecord) -> str:
     ]
     if record.fingerprint:
         lines.append(f"fingerprint {record.fingerprint}")
+    if record.extra.get("parent"):
+        # kind="update" records link to the cold run they extended
+        # (repro update); compare the two ids to see the chain.
+        parent_id = record.extra.get("parent_run_id") or "-"
+        lines.append(
+            f"parent {parent_id}  fingerprint {record.extra['parent']}"
+        )
     if record.cache:
         parts = [f"{k}={v}" for k, v in sorted(record.cache.items())]
         lines.append("cache " + " ".join(parts))

@@ -12,6 +12,7 @@ independently perturbable.
 
 from .config import SimulationConfig
 from .dataset import RawDataset, generate_raw_dataset
+from .extend import PrefixMismatch, extend_raw_dataset, extended_config
 from .latent import LatentMarket, generate_latent_market
 from .market import MarketUniverse, btc_supply_schedule, generate_universe
 from .macro import generate_macro
@@ -38,6 +39,7 @@ __all__ = [
     "LatentMarket",
     "MarketUniverse",
     "PRESETS",
+    "PrefixMismatch",
     "RawDataset",
     "Regime",
     "RegimeProcess",
@@ -47,6 +49,8 @@ __all__ = [
     "baseline",
     "btc_supply_schedule",
     "decoupled_market",
+    "extend_raw_dataset",
+    "extended_config",
     "flow_driven_market",
     "generate_btc_onchain",
     "generate_eth_onchain",

@@ -76,14 +76,14 @@ def generate_latent_market(config: SimulationConfig) -> LatentMarket:
     drift = RegimeProcess.drift(regimes)
     vol = RegimeProcess.vol(regimes)
 
-    macro = _macro_factor(n, bank.generator("macro"))
+    macro = _macro_factor(n, bank)
     flows = _flow_process(n, regimes, bank.generator("flows"))
     adoption = _adoption_curve(n, regimes, flows, bank.generator("adoption"))
 
     eps = bank.generator("returns").normal(size=n)
     sent_noise = bank.generator("sentiment").normal(size=n)
     vol_state = _vol_modulation(n, bank.generator("vol_state"))
-    jumps = _jump_component(n, bank.generator("jumps"))
+    jumps = _jump_component(n, bank)
 
     sentiment = np.zeros(n)
     log_ret = np.zeros(n)
@@ -144,26 +144,36 @@ def _vol_modulation(n: int, rng: np.random.Generator) -> np.ndarray:
     return out
 
 
-def _jump_component(n: int, rng: np.random.Generator) -> np.ndarray:
+def _jump_component(n: int, bank: SeedBank) -> np.ndarray:
     """Rare idiosyncratic shock days (exchange failures, forks, hacks).
 
     Roughly one jump per 150 trading days, sized 5-20 % with a negative
     skew — the isolated outliers behind crypto's fat return tails.
+    One substream per draw keeps each array prefix-stable under
+    extension (see :mod:`repro.synth.rng`).
     """
     jumps = np.zeros(n)
-    hit = rng.random(n) < 1.0 / 150.0
-    sizes = rng.normal(loc=-0.02, scale=0.07, size=n)
+    hit = bank.substream("jumps", "hit").random(n) < 1.0 / 150.0
+    sizes = bank.substream("jumps", "size").normal(
+        loc=-0.02, scale=0.07, size=n
+    )
     jumps[hit] = sizes[hit]
     return jumps
 
 
-def _macro_factor(n: int, rng: np.random.Generator) -> np.ndarray:
-    """Slow AR(1) with rare persistent level shifts (policy moves)."""
+def _macro_factor(n: int, bank: SeedBank) -> np.ndarray:
+    """Slow AR(1) with rare persistent level shifts (policy moves).
+
+    One substream per draw keeps each array prefix-stable under
+    extension (see :mod:`repro.synth.rng`).
+    """
     out = np.zeros(n)
     state = 0.0
-    shocks = rng.normal(scale=0.018, size=n)
-    shift_days = rng.random(n) < 1.0 / 400.0
-    shift_sizes = rng.normal(scale=0.8, size=n)
+    shocks = bank.substream("macro", "shocks").normal(scale=0.018, size=n)
+    shift_days = bank.substream("macro", "shift_days").random(n) < 1.0 / 400.0
+    shift_sizes = bank.substream("macro", "shift_sizes").normal(
+        scale=0.8, size=n
+    )
     for t in range(n):
         state = 0.998 * state + shocks[t]
         if shift_days[t]:

@@ -30,41 +30,48 @@ def generate_macro(config: SimulationConfig,
                    latent: LatentMarket) -> Frame:
     """Daily-aligned official macro series (step functions, mostly)."""
     bank = SeedBank(config.seed)
-    rng = bank.generator("macro_metrics")
     n = latent.n_days
     macro = latent.macro
     lagged = _lag(macro, _PUBLICATION_LAG)
+
+    # One named substream per noise draw so every array stays
+    # prefix-stable under dataset extension (see repro.synth.rng).
+    def sub(label: str) -> np.random.Generator:
+        return bank.substream("macro_metrics", label)
 
     columns: dict[str, np.ndarray] = {}
 
     # Central-bank policy rates: step functions reacting to the factor.
     columns["fed_funds_rate"] = _policy_rate(
-        lagged, base=1.0, sensitivity=-0.9, rng=rng
+        lagged, base=1.0, sensitivity=-0.9, rng=sub("fed_funds")
     )
     columns["ecb_deposit_rate"] = _policy_rate(
-        lagged, base=0.0, sensitivity=-0.7, rng=rng
+        lagged, base=0.0, sensitivity=-0.7, rng=sub("ecb_deposit")
     )
 
     # Inflation (HICP-style YoY %): slow, monthly, lagged, counter to easing.
     month = _month_step_ids(n)
     inflation = 2.0 - 1.2 * _monthly_hold(lagged, month) + _monthly_hold(
-        rng.normal(scale=0.15, size=n), month
+        sub("hicp").normal(scale=0.15, size=n), month
     )
     columns["hicp_inflation_yoy"] = inflation
     columns["us_cpi_yoy"] = inflation + _monthly_hold(
-        rng.normal(scale=0.2, size=n), month
+        sub("us_cpi").normal(scale=0.2, size=n), month
     ) + 0.3
 
     # Policy-uncertainty index: daily, noisy, spikes when macro worsens.
     columns["policy_uncertainty_index"] = np.clip(
-        110.0 - 35.0 * lagged + rng.normal(scale=18.0, size=n), 20.0, None
+        110.0 - 35.0 * lagged + sub("policy_uncertainty").normal(
+            scale=18.0, size=n
+        ),
+        20.0, None,
     )
 
     # Unemployment: very slow, counter-cyclical, quarterly-ish steps.
     quarter = month // 3
     columns["unemployment_rate"] = np.clip(
         4.5 - 0.8 * _monthly_hold(lagged, quarter) + _monthly_hold(
-            rng.normal(scale=0.1, size=n), quarter
+            sub("unemployment").normal(scale=0.1, size=n), quarter
         ),
         2.0, 15.0,
     )
@@ -73,11 +80,13 @@ def generate_macro(config: SimulationConfig,
     # summaries published with shorter lag.
     short_lag = _lag(macro, 10)
     columns["yield_curve_spread"] = (
-        0.8 + 0.5 * short_lag + rng.normal(scale=0.05, size=n)
+        0.8 + 0.5 * short_lag + sub("yield_curve").normal(
+            scale=0.05, size=n
+        )
     )
     columns["m2_growth_yoy"] = (
         6.0 + 2.5 * _monthly_hold(lagged, month) + _monthly_hold(
-            rng.normal(scale=0.3, size=n), month
+            sub("m2").normal(scale=0.3, size=n), month
         )
     )
 

@@ -123,8 +123,11 @@ def generate_universe(config: SimulationConfig,
 
 def _btc_frame(config: SimulationConfig, latent: LatentMarket,
                btc_cap: np.ndarray, bank: SeedBank) -> Frame:
-    """Derive BTC OHLCV + market cap from its cap path."""
-    rng = bank.generator("btc_ohlcv")
+    """Derive BTC OHLCV + market cap from its cap path.
+
+    One substream per noise draw keeps each array prefix-stable under
+    extension (see :mod:`repro.synth.rng`).
+    """
     n = btc_cap.size
     supply = btc_supply_schedule(n)
     close = btc_cap / supply
@@ -132,14 +135,18 @@ def _btc_frame(config: SimulationConfig, latent: LatentMarket,
     open_ = np.empty(n)
     open_[0] = close[0]
     open_[1:] = close[:-1]
-    intraday = np.abs(rng.normal(scale=0.012, size=n))
+    intraday = np.abs(
+        bank.substream("btc_ohlcv", "intraday").normal(scale=0.012, size=n)
+    )
     high = np.maximum(open_, close) * (1.0 + intraday)
     low = np.minimum(open_, close) * (1.0 - intraday)
 
     # Volume scales with cap, spikes with |returns| and crash regimes.
     abs_ret = np.abs(np.diff(np.log(close), prepend=np.log(close[0])))
     turnover = 0.02 + 1.5 * abs_ret + 0.015 * (latent.regimes == 3)
-    volume = btc_cap * turnover * np.exp(rng.normal(0, 0.15, size=n))
+    volume = btc_cap * turnover * np.exp(
+        bank.substream("btc_ohlcv", "volume").normal(0, 0.15, size=n)
+    )
 
     return Frame(
         latent.index,

@@ -23,6 +23,8 @@ result tables of the reproduction read like the paper's.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from ..frame.frame import Frame
@@ -100,6 +102,19 @@ def _address_count_fraction(threshold: float, scale: float,
     return x ** (-alpha)
 
 
+def _nest(raw: np.ndarray, prev: np.ndarray | None,
+          ufunc=np.minimum) -> np.ndarray:
+    """Clip a threshold-family member against its predecessor.
+
+    Count/supply families are nested by construction (a higher balance
+    threshold can never contain *more* addresses or supply), but
+    independent observation noise could violate the ordering where the
+    Pareto fractions are close. Elementwise clipping keeps the nesting
+    structural — and, being elementwise, prefix-stable under extension.
+    """
+    return raw if prev is None else ufunc(raw, prev)
+
+
 def _supply_fraction_above(threshold: float, scale: float,
                            alpha: np.ndarray) -> np.ndarray:
     """Fraction of supply held in addresses with balance >= threshold.
@@ -115,12 +130,18 @@ def generate_btc_onchain(config: SimulationConfig, latent: LatentMarket,
                          universe: MarketUniverse) -> Frame:
     """All BTC on-chain metrics as one frame on the simulation index."""
     bank = SeedBank(config.seed)
-    rng = bank.generator("onchain_btc")
     n = latent.n_days
     noise = config.onchain_noise
+    draw = itertools.count()
 
     def obs(scale: float = 1.0) -> np.ndarray:
-        """Multiplicative lognormal observation noise."""
+        """Multiplicative lognormal observation noise.
+
+        Each call draws from its own numbered substream (the call order
+        is deterministic), so every noise array stays prefix-stable
+        under dataset extension (see :mod:`repro.synth.rng`).
+        """
+        rng = bank.substream("onchain_btc", f"obs{next(draw)}")
         return np.exp(rng.normal(scale=noise * scale, size=n))
 
     btc = universe.btc
@@ -144,40 +165,53 @@ def generate_btc_onchain(config: SimulationConfig, latent: LatentMarket,
     # --- address-count families -----------------------------------------
     mean_balance_ntv = supply / total_addresses * 2.0
     mean_balance_usd = mean_balance_ntv * price
+    prev = None
     for suffix in BTC_USD_THRESHOLDS:
         frac = _address_count_fraction(
             _suffix_value(suffix), mean_balance_usd, alpha
         )
-        columns[f"AdrBalUSD{suffix}Cnt"] = total_addresses * frac * obs()
+        prev = _nest(total_addresses * frac * obs(), prev)
+        columns[f"AdrBalUSD{suffix}Cnt"] = prev
+    prev = None
     for suffix in BTC_NTV_THRESHOLDS:
         frac = _address_count_fraction(
             _suffix_value(suffix), mean_balance_ntv, alpha
         )
-        columns[f"AdrBalNtv{suffix}Cnt"] = total_addresses * frac * obs()
+        prev = _nest(total_addresses * frac * obs(), prev)
+        columns[f"AdrBalNtv{suffix}Cnt"] = prev
+    # 1in# thresholds *shrink* as the suffix grows, so counts grow.
+    prev = None
     for suffix in ONE_IN_THRESHOLDS:
         threshold_ntv = supply / _suffix_value(suffix)
         frac = _address_count_fraction(
             1.0, mean_balance_ntv / threshold_ntv, alpha
         )
-        columns[f"AdrBal1in{suffix}Cnt"] = total_addresses * frac * obs()
+        prev = _nest(total_addresses * frac * obs(), prev, np.maximum)
+        columns[f"AdrBal1in{suffix}Cnt"] = prev
 
     # --- supply-distribution families ------------------------------------
+    prev = None
     for suffix in BTC_USD_THRESHOLDS:
         frac = _supply_fraction_above(
             _suffix_value(suffix), mean_balance_usd, alpha
         )
-        columns[f"SplyAdrBalUSD{suffix}"] = supply * frac * obs()
+        prev = _nest(supply * frac * obs(), prev)
+        columns[f"SplyAdrBalUSD{suffix}"] = prev
+    prev = None
     for suffix in BTC_NTV_THRESHOLDS:
         frac = _supply_fraction_above(
             _suffix_value(suffix), mean_balance_ntv, alpha
         )
-        columns[f"SplyAdrBalNtv{suffix}"] = supply * frac * obs()
+        prev = _nest(supply * frac * obs(), prev)
+        columns[f"SplyAdrBalNtv{suffix}"] = prev
+    prev = None
     for suffix in ONE_IN_THRESHOLDS:
         threshold_ntv = supply / _suffix_value(suffix)
         frac = _supply_fraction_above(
             1.0, mean_balance_ntv / threshold_ntv, alpha
         )
-        columns[f"SplyAdrBal1in{suffix}"] = supply * frac * obs()
+        prev = _nest(supply * frac * obs(), prev, np.maximum)
+        columns[f"SplyAdrBal1in{suffix}"] = prev
 
     top1_share = np.clip(0.88 - 0.28 * (alpha - 1.12), 0.2, 0.95)
     columns["SplyAdrTop1Pct"] = supply * top1_share * obs()
@@ -304,11 +338,13 @@ def generate_usdc_onchain(config: SimulationConfig, latent: LatentMarket,
     columns are the cleanest observable of the medium/long-horizon driver.
     """
     bank = SeedBank(config.seed)
-    rng = bank.generator("onchain_usdc")
     n = latent.n_days
     noise = config.onchain_noise
+    draw = itertools.count()
 
     def obs(scale: float = 1.0) -> np.ndarray:
+        # One numbered substream per call: prefix-stable under extension.
+        rng = bank.substream("onchain_usdc", f"obs{next(draw)}")
         return np.exp(rng.normal(scale=noise * scale, size=n))
 
     flows = latent.flows
@@ -325,38 +361,46 @@ def generate_usdc_onchain(config: SimulationConfig, latent: LatentMarket,
 
     columns: dict[str, np.ndarray] = {}
     usd_thresholds = ("1", "10", "100", "1K", "10K", "100K", "1M", "10M")
+    prev = prev_ntv = None
     for suffix in usd_thresholds:
         frac = _address_count_fraction(
             _suffix_value(suffix), mean_balance, alpha
         )
-        count = total_addresses * frac * obs()
-        columns[f"usdc_AdrBalUSD{suffix}Cnt"] = count
+        prev = _nest(total_addresses * frac * obs(), prev)
+        columns[f"usdc_AdrBalUSD{suffix}Cnt"] = prev
         # USDC trades at $1: native == USD thresholds, but published as a
         # separate Coinmetrics series with its own sampling noise.
-        columns[f"usdc_AdrBalNtv{suffix}Cnt"] = count * obs(0.3)
+        prev_ntv = _nest(prev * obs(0.3), prev_ntv)
+        columns[f"usdc_AdrBalNtv{suffix}Cnt"] = prev_ntv
+    prev = None
     for suffix in ("10K", "100K", "1M", "10M", "100M"):
         threshold = supply / _suffix_value(suffix)
         frac = _address_count_fraction(1.0, mean_balance / threshold, alpha)
-        columns[f"usdc_AdrBal1in{suffix}Cnt"] = (
-            total_addresses * frac * obs()
-        )
+        prev = _nest(total_addresses * frac * obs(), prev, np.maximum)
+        columns[f"usdc_AdrBal1in{suffix}Cnt"] = prev
 
+    prev = prev_ntv = None
     for suffix in usd_thresholds:
         frac = _supply_fraction_above(
             _suffix_value(suffix), mean_balance, alpha
         )
-        held = supply * frac * obs()
-        columns[f"usdc_SplyAdrBalUSD{suffix}"] = held
-        columns[f"usdc_SplyAdrBalNtv{suffix}"] = held * obs(0.3)
+        prev = _nest(supply * frac * obs(), prev)
+        columns[f"usdc_SplyAdrBalUSD{suffix}"] = prev
+        prev_ntv = _nest(prev * obs(0.3), prev_ntv)
+        columns[f"usdc_SplyAdrBalNtv{suffix}"] = prev_ntv
+    prev = None
     for suffix in ("0.001", "0.01", "0.1"):
         frac = _supply_fraction_above(
             _suffix_value(suffix), mean_balance, alpha
         )
-        columns[f"usdc_SplyAdrBalNtv{suffix}"] = supply * frac * obs()
+        prev = _nest(supply * frac * obs(), prev)
+        columns[f"usdc_SplyAdrBalNtv{suffix}"] = prev
+    prev = None
     for suffix in ("10K", "100K", "1M", "10M", "100M"):
         threshold = supply / _suffix_value(suffix)
         frac = _supply_fraction_above(1.0, mean_balance / threshold, alpha)
-        columns[f"usdc_SplyAdrBal1in{suffix}"] = supply * frac * obs()
+        prev = _nest(supply * frac * obs(), prev, np.maximum)
+        columns[f"usdc_SplyAdrBal1in{suffix}"] = prev
 
     # Activity: stablecoins churn when capital moves either direction.
     intensity = np.abs(flows)
@@ -418,11 +462,13 @@ def generate_eth_onchain(config: SimulationConfig, latent: LatentMarket,
     usage is more speculative than BTC settlement).
     """
     bank = SeedBank(config.seed)
-    rng = bank.generator("onchain_eth")
     n = latent.n_days
     noise = config.onchain_noise
+    draw = itertools.count()
 
     def obs(scale: float = 1.0) -> np.ndarray:
+        # One numbered substream per call: prefix-stable under extension.
+        rng = bank.substream("onchain_eth", f"obs{next(draw)}")
         return np.exp(rng.normal(scale=noise * scale, size=n))
 
     # ETH rides the market with its own adoption kicker.
@@ -447,25 +493,27 @@ def generate_eth_onchain(config: SimulationConfig, latent: LatentMarket,
     )
 
     columns: dict[str, np.ndarray] = {}
+    prev = None
     for suffix in ("1", "100", "10K", "1M"):
         frac = _address_count_fraction(
             _suffix_value(suffix), mean_balance_usd, alpha
         )
-        columns[f"eth_AdrBalUSD{suffix}Cnt"] = (
-            total_addresses * frac * obs()
-        )
+        prev = _nest(total_addresses * frac * obs(), prev)
+        columns[f"eth_AdrBalUSD{suffix}Cnt"] = prev
+    prev = None
     for suffix in ("0.01", "1", "100", "10K"):
         frac = _address_count_fraction(
             _suffix_value(suffix), mean_balance_ntv, alpha
         )
-        columns[f"eth_AdrBalNtv{suffix}Cnt"] = (
-            total_addresses * frac * obs()
-        )
+        prev = _nest(total_addresses * frac * obs(), prev)
+        columns[f"eth_AdrBalNtv{suffix}Cnt"] = prev
+    prev = None
     for suffix in ("0.01", "1", "100", "10K"):
         frac = _supply_fraction_above(
             _suffix_value(suffix), mean_balance_ntv, alpha
         )
-        columns[f"eth_SplyAdrBalNtv{suffix}"] = supply * frac * obs()
+        prev = _nest(supply * frac * obs(), prev)
+        columns[f"eth_SplyAdrBalNtv{suffix}"] = prev
     columns["eth_SplyCur"] = supply * obs(0.05)
     base_act = np.clip(0.005 * activity, 0.0, 0.08)
     for label, window in (("30d", 30), ("1yr", 365), ("2yr", 730)):
@@ -494,9 +542,10 @@ def generate_eth_onchain(config: SimulationConfig, latent: LatentMarket,
     columns["eth_DeFiTVL"] = 1.0e8 * np.exp(
         np.clip(np.cumsum(tvl_growth), None, 9.0)
     ) * obs(0.5)
-    staked = np.clip(
-        0.02 + 0.10 * (eth_adoption / max(eth_adoption[-1], 1e-9)), 0, 0.4
-    )
+    # Normalise by the long-run adoption scale (a constant, not the
+    # sample max: the max depends on the simulation length and would
+    # break prefix-stability under extension).
+    staked = np.clip(0.02 + 0.10 * (eth_adoption / 6.0), 0, 0.4)
     columns["eth_StakedPct"] = staked * 100.0 * obs(0.3)
     columns["eth_FeeTotUSD"] = gas * 2.0e-8 * eth_price * obs()
     transfer = eth_price * supply * 0.012 * activity * obs()

@@ -3,9 +3,27 @@
 Every stochastic component receives its own child generator spawned from a
 single master seed, so (a) the full dataset is bit-reproducible and (b)
 changing one component's draws does not perturb any other component.
+
+Prefix-stability contract
+-------------------------
+The incremental pipeline (:func:`repro.synth.extend_raw_dataset`) relies
+on every named stream being consumed by **exactly one array draw** whose
+length is the simulation's day count: numpy generators fill arrays
+sequentially, so ``bank.generator(n).normal(size=n + k)[:n]`` is
+bit-identical to ``bank.generator(n).normal(size=n)``.  A component that
+needs several draws must request one *substream per draw*
+(:meth:`SeedBank.substream`) instead of drawing repeatedly from one
+stream — repeated draws shift the stream offset when the day count
+changes, which breaks the ``extend(n, k) == cold(n + k)`` guarantee.
+
+Stream names are hashed with sha256 over the **full** name, so
+arbitrarily long substream labels ("onchain_btc/obs17") can never
+collide the way a truncated byte prefix would.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -29,12 +47,25 @@ class SeedBank:
 
     def generator(self, name: str) -> np.random.Generator:
         """A fresh generator keyed by ``name`` (same name → same stream)."""
-        # Hash the name into spawn-key material so streams are independent
-        # of the order in which components request them.
+        # Hash the full name into spawn-key material so streams are
+        # independent of the order in which components request them and
+        # distinct names can never alias (sha256, not a byte prefix).
         digest = np.frombuffer(
-            name.encode("utf-8").ljust(16, b"\0")[:16], dtype=np.uint32
+            hashlib.sha256(name.encode("utf-8")).digest()[:32],
+            dtype=np.uint32,
         )
         seq = np.random.SeedSequence(
-            entropy=self.master_seed, spawn_key=tuple(int(v) for v in digest)
+            entropy=self.master_seed,
+            spawn_key=tuple(int(v) for v in digest),
         )
         return np.random.default_rng(seq)
+
+    def substream(self, name: str, label) -> np.random.Generator:
+        """A generator for one *draw* within a component's stream family.
+
+        ``substream("macro", "cpi")`` and ``substream("macro", "m2")``
+        are independent streams; a component that makes several array
+        draws uses one substream per draw so each draw keeps the
+        prefix-stability contract on its own.
+        """
+        return self.generator(f"{name}/{label}")

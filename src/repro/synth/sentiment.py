@@ -12,6 +12,8 @@ carries some longer-horizon information (the paper's 90-day bump).
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from ..frame.frame import Frame
@@ -27,12 +29,15 @@ def generate_sentiment(config: SimulationConfig,
                        latent: LatentMarket) -> Frame:
     """All sentiment/interest metrics on the simulation index."""
     bank = SeedBank(config.seed)
-    rng = bank.generator("sentiment_metrics")
     n = latent.n_days
     sent = latent.sentiment
     noise_scale = config.sentiment_noise
+    draw = itertools.count()
 
     def noisy(base: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        # One numbered substream per call (deterministic call order), so
+        # every noise array stays prefix-stable under dataset extension.
+        rng = bank.substream("sentiment_metrics", f"noisy{next(draw)}")
         return base + rng.normal(scale=noise_scale * scale, size=n)
 
     columns: dict[str, np.ndarray] = {}
@@ -44,7 +49,9 @@ def generate_sentiment(config: SimulationConfig,
     # worse than diverse ones (Table 6).
     buzz = np.exp(0.30 * latent.adoption + 0.25 * np.abs(sent))
     social_volume = 5.0e4 * buzz * np.exp(
-        rng.normal(scale=0.55, size=n)
+        bank.substream("sentiment_metrics", "social_volume").normal(
+            scale=0.55, size=n
+        )
     )
     columns["social_volume"] = social_volume
     pos_raw = _squash(noisy(0.35 * sent, 0.5)) * 0.6 + 0.2
@@ -60,12 +67,19 @@ def generate_sentiment(config: SimulationConfig,
     )
     columns["news_sentiment_score"] = noisy(0.8 * sent, 0.9)
     columns["news_volume"] = 800.0 * buzz ** 0.7 * np.exp(
-        rng.normal(scale=0.25, size=n)
+        bank.substream("sentiment_metrics", "news_volume").normal(
+            scale=0.25, size=n
+        )
     )
 
     # --- fear & greed (starts 2018-02) ------------------------------------
-    fg = np.clip(50.0 + 17.0 * np.tanh(0.6 * sent)
-                 + rng.normal(scale=6.0, size=n), 0.0, 100.0)
+    fg = np.clip(
+        50.0 + 17.0 * np.tanh(0.6 * sent)
+        + bank.substream("sentiment_metrics", "fear_greed").normal(
+            scale=6.0, size=n
+        ),
+        0.0, 100.0,
+    )
     start = int(np.searchsorted(latent.index.ordinals,
                                 as_ordinal(config.fear_greed_start)))
     fg_masked = fg.copy()
@@ -87,14 +101,22 @@ def generate_sentiment(config: SimulationConfig,
         shifted = np.roll(interest, lag_days)
         shifted[:lag_days] = interest[0]
         monthly = _monthly_average(shifted, month_keys)
-        # one sampling-noise multiplier per month keeps the step structure
+        # one sampling-noise multiplier per month keeps the step
+        # structure; the per-term substream draws once (months only
+        # append under extension, so the array is prefix-stable)
         month_noise = dict(zip(
             unique_months.tolist(),
-            np.exp(rng.normal(scale=0.08, size=unique_months.size)),
+            np.exp(bank.substream(
+                "sentiment_metrics", f"gt_{term}"
+            ).normal(scale=0.08, size=unique_months.size)),
         ))
         noise_per_day = np.array([month_noise[m] for m in month_keys])
+        # Trends-style renormalisation against the interest peak *so
+        # far* (an expanding max, not the sample max: the sample max
+        # looks into the future and breaks prefix-stability).
+        peak = np.maximum.accumulate(monthly)
         columns[f"gt_{term}_monthly"] = (
-            scale * monthly / monthly.max() * noise_per_day
+            scale * monthly / peak * noise_per_day
         )
 
     return Frame(latent.index, columns)

@@ -1,0 +1,107 @@
+"""Dataset-extension bit-identity: extend-by-k equals cold n+k.
+
+The contract :mod:`repro.synth.extend` rests on — every generator array
+drawn from its own named RNG substream — makes the appended rows of an
+extension byte-for-byte equal to a cold generation over the longer
+calendar. These tests pin that equality across every synthetic source
+(each feature category), chained extensions, and the corruption
+interlock (:class:`~repro.synth.extend.PrefixMismatch`).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.synth import generate_raw_dataset
+from repro.synth.config import SimulationConfig
+from repro.synth.extend import (
+    PrefixMismatch,
+    extend_raw_dataset,
+    extended_config,
+)
+
+
+def _assert_bit_identical(extended, cold):
+    """Every index ordinal and every feature column, byte for byte."""
+    assert extended.config == cold.config
+    assert extended.features.columns == cold.features.columns
+    assert (extended.features.index.ordinals.tobytes()
+            == cold.features.index.ordinals.tobytes())
+    by_category = {}
+    for name in cold.features.columns:
+        by_category.setdefault(str(cold.categories[name]), []).append(name)
+    for category, names in sorted(by_category.items()):
+        for name in names:
+            assert (extended.features[name].tobytes()
+                    == cold.features[name].tobytes()), (
+                f"column {name} ({category}) diverged from cold "
+                f"generation"
+            )
+
+
+class TestExtendedConfig:
+    def test_moves_end_by_days(self, small_config):
+        longer = extended_config(small_config, 3)
+        assert longer.end == "2020-01-03"
+        assert longer.start == small_config.start
+        assert longer.seed == small_config.seed
+
+    def test_rejects_nonpositive_days(self, small_config):
+        for days in (0, -1):
+            with pytest.raises(ValueError, match="days"):
+                extended_config(small_config, days)
+
+
+class TestExtendBitIdentity:
+    @pytest.mark.parametrize("days", [1, 7])
+    def test_equals_cold_generation(self, small_config, small_raw, days):
+        extended = extend_raw_dataset(small_raw, days=days)
+        cold = generate_raw_dataset(extended_config(small_config, days))
+        assert extended.features.n_rows == small_raw.features.n_rows + days
+        _assert_bit_identical(extended, cold)
+
+    def test_chained_extension_equals_one_shot(self, small_raw):
+        chained = extend_raw_dataset(
+            extend_raw_dataset(small_raw, days=2), days=3
+        )
+        one_shot = extend_raw_dataset(small_raw, days=5)
+        _assert_bit_identical(chained, one_shot)
+
+    def test_prefix_rows_shared_not_copied(self, small_raw):
+        extended = extend_raw_dataset(small_raw, days=1)
+        n = small_raw.features.n_rows
+        name = small_raw.features.columns[0]
+        assert np.array_equal(
+            extended.features[name][:n], small_raw.features[name],
+            equal_nan=True,
+        )
+
+
+class TestExtendInterlocks:
+    def test_corrupted_dataset_refused(self, small_raw):
+        name = small_raw.features.columns[3]
+        columns = {
+            col: small_raw.features[col] for col in small_raw.features.columns
+        }
+        bad = columns[name].copy()
+        bad[10] += 1.0
+        columns[name] = bad
+        corrupted = dataclasses.replace(
+            small_raw,
+            features=Frame(small_raw.features.index, columns),
+        )
+        with pytest.raises(PrefixMismatch, match="regenerate cold"):
+            extend_raw_dataset(corrupted, days=1)
+
+    def test_rejects_nonpositive_days(self, small_raw):
+        with pytest.raises(ValueError, match="days"):
+            extend_raw_dataset(small_raw, days=0)
+
+    def test_single_month_dataset_refused(self):
+        config = SimulationConfig(
+            start="2018-01-05", end="2018-01-25", seed=3, n_assets=105,
+        )
+        with pytest.raises(ValueError, match="single calendar month"):
+            extend_raw_dataset(generate_raw_dataset(config), days=1)

@@ -1,0 +1,197 @@
+"""Property tests: O(n) rolling extrema and the ``extend_*`` tail ops.
+
+Two families of equivalence, both against the slow obviously-correct
+reference:
+
+* :func:`repro.frame.ops.rolling_min` / ``rolling_max`` use the van
+  Herk–Gil–Werman block-scan decomposition — value-identical to
+  ``rolling_apply(values, window, np.min/np.max)`` for every window
+  size, length, and NaN placement hypothesis can produce;
+* every ``extend_<op>(old, new, ...)`` equals computing the op cold
+  over ``concat(old, new)`` and slicing the tail — bit-identical
+  (``tobytes``) for the cumsum-carried stats, value-identical for the
+  extrema (a window holding both ``0.0`` and ``-0.0`` may pick either
+  zero's sign).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.features import (
+    extend_lag_features,
+    extend_rolling_features,
+    lag_features,
+    rolling_features,
+)
+from repro.frame import Frame, date_range
+from repro.frame.ops import (
+    ROLLING_STATS,
+    extend_log_returns,
+    extend_pct_change,
+    extend_rolling,
+    extend_shift,
+    log_returns,
+    pct_change,
+    rolling_apply,
+    rolling_max,
+    rolling_min,
+    shift,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e9, max_value=1e9
+)
+maybe_nan_floats = st.one_of(finite_floats, st.just(float("nan")))
+
+
+def series(max_size=80):
+    return arrays(
+        np.float64,
+        st.integers(min_value=0, max_value=max_size),
+        elements=maybe_nan_floats,
+    )
+
+
+windows = st.integers(min_value=1, max_value=12)
+
+
+class TestRollingExtremaFastPath:
+    @given(series(), windows)
+    @settings(max_examples=150, deadline=None)
+    def test_min_matches_reference(self, values, window):
+        fast = rolling_min(values, window)
+        slow = rolling_apply(values, window, np.min)
+        assert np.array_equal(fast, slow, equal_nan=True)
+
+    @given(series(), windows)
+    @settings(max_examples=150, deadline=None)
+    def test_max_matches_reference(self, values, window):
+        fast = rolling_max(values, window)
+        slow = rolling_apply(values, window, np.max)
+        assert np.array_equal(fast, slow, equal_nan=True)
+
+    def test_window_larger_than_series(self):
+        assert np.all(np.isnan(rolling_min(np.arange(3.0), 5)))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            rolling_min(np.arange(4.0), 0)
+
+    def test_nan_poisons_whole_window(self):
+        values = np.array([1.0, np.nan, 3.0, 4.0, 5.0])
+        out = rolling_max(values, 2)
+        assert np.isnan(out[1]) and np.isnan(out[2])
+        assert out[3] == 4.0 and out[4] == 5.0
+
+    def test_large_series_exact_on_monotonic_runs(self):
+        rng = np.random.default_rng(0)
+        values = np.cumsum(rng.normal(size=5000))
+        for window in (2, 17, 365):
+            assert np.array_equal(
+                rolling_min(values, window),
+                rolling_apply(values, window, np.min),
+                equal_nan=True,
+            )
+
+
+old_new = st.tuples(series(max_size=60), series(max_size=20))
+
+
+class TestExtendOps:
+    @given(old_new, st.integers(min_value=-5, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_extend_shift(self, pair, periods):
+        old, new = pair
+        cold = shift(np.concatenate((old, new)), periods)[old.size:]
+        assert extend_shift(old, new, periods).tobytes() == cold.tobytes()
+
+    @given(old_new, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_extend_pct_change(self, pair, periods):
+        old, new = pair
+        with np.errstate(all="ignore"):
+            cold = pct_change(
+                np.concatenate((old, new)), periods
+            )[old.size:]
+            got = extend_pct_change(old, new, periods)
+        assert got.tobytes() == cold.tobytes()
+
+    @given(old_new, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_extend_log_returns(self, pair, periods):
+        old, new = pair
+        with np.errstate(all="ignore"):
+            cold = log_returns(
+                np.concatenate((old, new)), periods
+            )[old.size:]
+            got = extend_log_returns(old, new, periods)
+        assert got.tobytes() == cold.tobytes()
+
+    @given(old_new, windows, st.sampled_from(ROLLING_STATS))
+    @settings(max_examples=200, deadline=None)
+    def test_extend_rolling(self, pair, window, stat):
+        from repro.frame.ops import (
+            rolling_mean, rolling_std, rolling_sum,
+        )
+
+        old, new = pair
+        full = {"mean": rolling_mean, "std": rolling_std,
+                "sum": rolling_sum, "min": rolling_min,
+                "max": rolling_max}[stat](
+            np.concatenate((old, new)), window
+        )
+        got = extend_rolling(old, new, window, stat)
+        assert got.shape == (new.size,)
+        if stat in ("min", "max"):
+            assert np.array_equal(got, full[old.size:], equal_nan=True)
+        else:
+            assert got.tobytes() == full[old.size:].tobytes()
+
+    def test_extend_rolling_rejects_unknown_stat(self):
+        with pytest.raises(ValueError, match="stat"):
+            extend_rolling(np.arange(5.0), np.arange(2.0), 3, "median")
+
+
+def _frame(values_by_col, start=730000):
+    n = len(next(iter(values_by_col.values())))
+    return Frame(date_range(start, periods=n), values_by_col)
+
+
+class TestExtendFeatureFrames:
+    """``extend_{lag,rolling}_features`` equal their cold counterparts."""
+
+    def _grown(self, seed=0, n=90, k=6):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=n + k).cumsum()
+        b = rng.normal(size=n + k)
+        b[rng.integers(0, n + k, size=5)] = np.nan
+        extended = _frame({"price": a, "flow": b})
+        base = _frame({"price": a[:n], "flow": b[:n]})
+        return base, extended, n
+
+    def test_lag_features_bit_identical(self):
+        base, extended, n = self._grown()
+        cold = lag_features(extended, lags=(1, 3, 7))
+        prev = lag_features(base, lags=(1, 3, 7))
+        grown = extend_lag_features(prev, extended, lags=(1, 3, 7))
+        assert grown.columns == cold.columns
+        for name in cold.columns:
+            assert grown[name].tobytes() == cold[name].tobytes()
+
+    def test_rolling_features_bit_identical(self):
+        base, extended, n = self._grown(seed=1)
+        kwargs = dict(windows=(3, 14), stats=("mean", "std", "max"))
+        cold = rolling_features(extended, **kwargs)
+        prev = rolling_features(base, **kwargs)
+        grown = extend_rolling_features(prev, extended, **kwargs)
+        assert grown.columns == cold.columns
+        for name in cold.columns:
+            assert grown[name].tobytes() == cold[name].tobytes()
+
+    def test_no_new_rows_returns_prev(self):
+        base, _extended, _n = self._grown()
+        prev = lag_features(base, lags=(1,))
+        assert extend_lag_features(prev, base, lags=(1,)) is prev

@@ -474,3 +474,95 @@ class TestPredictorWiring:
         assert "predict.compiled_rows" in out
         assert "4800" in out
         assert "cache.hits" in out
+
+
+class TestUpdateCommand:
+    def test_parser_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["update", "--days", "3", "--cache-dir",
+             str(tmp_path / "cache"), "--ledger",
+             str(tmp_path / "runs.jsonl"), "--quiet"]
+        )
+        assert args.command == "update"
+        assert args.days == 3
+        assert args.preset == "fast"
+        assert args.cache_dir.name == "cache"
+        assert args.ledger.name == "runs.jsonl"
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["update"])
+        assert args.days == 1
+        assert not args.no_cache
+        assert args.report is None
+
+    def test_parser_rejects_nonpositive_days(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["update", "--days", "0"])
+
+    @staticmethod
+    def _capture(monkeypatch, store):
+        import repro.incremental
+
+        def stub(config, days=1, checkpoint_dir=None, cache_dir=None,
+                 ledger_path=None):
+            store.update(config=config, days=days, cache_dir=cache_dir,
+                         ledger_path=ledger_path)
+            raise _Captured
+
+        monkeypatch.setattr(repro.incremental, "update_experiment", stub)
+
+    def test_flags_reach_update_experiment(self, tmp_path, monkeypatch):
+        store = {}
+        self._capture(monkeypatch, store)
+        with pytest.raises(_Captured):
+            main(["update", "--days", "5", "--cache-dir",
+                  str(tmp_path / "cache"), "--ledger",
+                  str(tmp_path / "runs.jsonl"), "--jobs", "1",
+                  "--quiet"])
+        assert store["days"] == 5
+        assert store["cache_dir"].endswith("cache")
+        assert store["ledger_path"].endswith("runs.jsonl")
+        assert store["config"].n_jobs == 1
+        assert store["config"].verbose is False
+
+    def test_no_cache_warns_cold(self, monkeypatch, capsys):
+        store = {}
+        self._capture(monkeypatch, store)
+        with pytest.raises(_Captured):
+            main(["update", "--no-cache", "--quiet"])
+        assert store["cache_dir"] is None
+        assert "runs cold" in capsys.readouterr().out
+
+    def test_exit_code_follows_completeness(self, monkeypatch, capsys):
+        import repro.cli as cli
+        import repro.incremental
+        from types import SimpleNamespace
+
+        from repro.incremental import UpdateResult
+
+        def stub(config, days=1, **kwargs):
+            import dataclasses as dc
+
+            from repro.synth.extend import extended_config
+
+            extended = dc.replace(
+                config,
+                simulation=extended_config(config.simulation, days),
+            )
+            return UpdateResult(
+                results=SimpleNamespace(runtime_seconds=1.5,
+                                        complete=False),
+                config=extended, days=days, dataset_reused=True,
+                scenarios_cached=2, scenarios_total=4,
+            )
+
+        monkeypatch.setattr(repro.incremental, "update_experiment", stub)
+        monkeypatch.setattr(cli, "_render_full_report",
+                            lambda results: "stub report")
+        code = main(["update", "--no-cache", "--quiet"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "+1 day(s)" in out
+        assert "spliced from parent" in out
+        assert "2/4 served from cache" in out
+        assert "stub report" in out

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.backtest",
     "repro.features",
     "repro.portfolio",
+    "repro.incremental",
 ]
 
 
